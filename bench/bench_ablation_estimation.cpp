@@ -1,0 +1,90 @@
+// Ablation (Section II, "Candidate Estimation"): the paper claims its weight
+// transfer "is general and can be applied to other estimation approaches" —
+// few epochs, dataset subsets, proxies.  This bench runs the same NAS under
+// three estimation budgets and checks that LCS transfer helps under each:
+//
+//   1 epoch x full data     (the paper's default)
+//   1 epoch x half data     (dataset-subset estimation, Klein et al. style)
+//   2 epochs x quarter data (deeper training on a smaller proxy)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+void BM_SubsetEvaluatorSetup(benchmark::State& state) {
+  const AppConfig app = make_app(AppId::kCifar, 1);
+  CheckpointStore store;
+  for (auto _ : state) {
+    Evaluator::Config cfg;
+    cfg.train = app.estimation_options();
+    cfg.train_subset_fraction = 0.25;
+    Evaluator evaluator(app.space, app.data, store, cfg);
+    benchmark::DoNotOptimize(&evaluator);
+  }
+}
+BENCHMARK(BM_SubsetEvaluatorSetup)->Unit(benchmark::kMicrosecond);
+
+struct Budget {
+  const char* label;
+  int epochs;
+  double fraction;
+};
+
+void print_table() {
+  print_repro_note("estimation-method ablation (Section II generality claim)");
+  const int seeds = bench_seeds();
+  const long evals = bench_evals();
+  constexpr Budget kBudgets[] = {
+      {"1 epoch x full data", 1, 1.0},
+      {"1 epoch x 1/2 data", 1, 0.5},
+      {"2 epochs x 1/4 data", 2, 0.25},
+  };
+
+  for (AppId id : {AppId::kCifar, AppId::kUno}) {
+    const AppConfig app = make_app(id, 1);
+    print_banner(std::cout, app.name + " (" + std::to_string(seeds) + " seeds x " +
+                                std::to_string(evals) + " evals)");
+    TableReport table({"estimation budget", "scheme", "best score", "mean of top-5",
+                       "late-trace mean"});
+    for (const Budget& budget : kBudgets) {
+      for (TransferMode mode : {TransferMode::kNone, TransferMode::kLCS}) {
+        RunningStats best, top5, late;
+        for (int s = 0; s < seeds; ++s) {
+          NasRunConfig cfg =
+              standard_run_config(mode, 100 + static_cast<std::uint64_t>(s), evals);
+          cfg.estimation_epochs = budget.epochs;
+          cfg.train_subset_fraction = budget.fraction;
+          const NasRun run = run_nas(app, cfg);
+          const auto top = top_k(run.trace, 5);
+          best.add(top.front().score);
+          RunningStats t5;
+          for (const auto& r : top) t5.add(r.score);
+          top5.add(t5.mean());
+          for (std::size_t i = run.trace.records.size() / 2;
+               i < run.trace.records.size(); ++i)
+            late.add(run.trace.records[i].score);
+        }
+        table.add_row({budget.label, scheme_name(mode), TableReport::cell(best.mean()),
+                       TableReport::cell(top5.mean()), TableReport::cell(late.mean())});
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape: LCS's advantage over the baseline persists across\n"
+               "all three estimation budgets — the transfer mechanism is orthogonal\n"
+               "to HOW candidates are partially evaluated, as Section II argues.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Ablation (DESIGN.md): provider-selection policy for weight transfer.
+//
+// The paper integrates transfer with regularized evolution so the provider
+// is always the parent (d = 1, Section V-B) and argues that random providers
+// are often harmful (Fig. 4).  This ablation runs the same NAS loop with
+// three provider policies under LCS transfer:
+//   parent  - the mutated parent (the paper's design),
+//   random  - a uniformly random previously evaluated candidate,
+//   best    - the best-scoring previously evaluated candidate.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+enum class ProviderPolicy { kParent, kRandom, kBest };
+
+const char* to_string(ProviderPolicy p) {
+  switch (p) {
+    case ProviderPolicy::kParent: return "parent (paper)";
+    case ProviderPolicy::kRandom: return "random provider";
+    case ProviderPolicy::kBest: return "best provider";
+  }
+  return "?";
+}
+
+/// Wraps regularized evolution and rewrites the transfer provider of each
+/// evolved proposal according to the policy.  The search dynamics (who gets
+/// mutated) stay identical; only the weight source changes.
+class ProviderPolicyStrategy final : public SearchStrategy {
+ public:
+  ProviderPolicyStrategy(const SearchSpace& space, RegularizedEvolution::Config cfg,
+                         ProviderPolicy policy)
+      : inner_(space, cfg), policy_(policy) {}
+
+  Proposal propose(Rng& rng) override {
+    Proposal p = inner_.propose(rng);
+    if (!p.parent_arch.has_value() || policy_ == ProviderPolicy::kParent || history_.empty())
+      return p;
+    const Outcome* provider = nullptr;
+    if (policy_ == ProviderPolicy::kRandom) {
+      provider = &history_[rng.uniform_index(history_.size())];
+    } else {
+      for (const auto& o : history_)
+        if (provider == nullptr || o.score > provider->score) provider = &o;
+    }
+    p.parent_arch = provider->arch;
+    p.parent_ckpt_key = provider->ckpt_key;
+    p.parent_id = provider->id;
+    return p;
+  }
+
+  void report(const Outcome& outcome) override {
+    history_.push_back(outcome);
+    inner_.report(outcome);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return std::string("evolution+") + ::to_string(policy_);
+  }
+
+ private:
+  RegularizedEvolution inner_;
+  ProviderPolicy policy_;
+  std::vector<Outcome> history_;
+};
+
+void BM_ProposalWithPolicy(benchmark::State& state) {
+  const SearchSpace space = make_mnist_space(8);
+  ProviderPolicyStrategy strategy(space, {.population_size = 8, .sample_size = 4},
+                                  static_cast<ProviderPolicy>(state.range(0)));
+  Rng rng(1);
+  long id = 0;
+  for (auto _ : state) {
+    const Proposal p = strategy.propose(rng);
+    strategy.report(Outcome{id++, p.arch, rng.uniform(), "k"});
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetLabel(::to_string(static_cast<ProviderPolicy>(state.range(0))));
+}
+BENCHMARK(BM_ProposalWithPolicy)->DenseRange(0, 2);
+
+void print_table() {
+  print_repro_note("provider-selection ablation (Fig. 4/5 rationale, Section V)");
+  const int seeds = bench_seeds();
+  const long evals = bench_evals();
+
+  TableReport table({"App", "policy", "late-trace mean score", "best score",
+                     "mean d(provider, child)"});
+  for (AppId id : all_apps()) {
+    const AppConfig app = make_app(id, 1);
+    for (ProviderPolicy policy :
+         {ProviderPolicy::kParent, ProviderPolicy::kRandom, ProviderPolicy::kBest}) {
+      RunningStats late, dist;
+      double best = -1e300;
+      for (int s = 0; s < seeds; ++s) {
+        auto store = std::make_unique<CheckpointStore>();
+        Evaluator::Config ecfg;
+        ecfg.mode = TransferMode::kLCS;
+        ecfg.train = app.estimation_options();
+        ecfg.seed = 100 + static_cast<std::uint64_t>(s);
+        Evaluator evaluator(app.space, app.data, *store, ecfg);
+        ProviderPolicyStrategy strategy(app.space, {.population_size = 16, .sample_size = 8},
+                                        policy);
+        Rng rng(mix64(ecfg.seed, 0x5EA6C4));
+        ClusterConfig ccfg;
+        ccfg.num_workers = 8;
+        ccfg.time_scale = app.time_scale;
+        const Trace trace = run_search(evaluator, strategy, evals, ccfg, rng);
+        for (std::size_t i = 0; i < trace.records.size(); ++i) {
+          const auto& r = trace.records[i];
+          best = std::max(best, r.score);
+          if (i >= trace.records.size() / 2) late.add(r.score);
+          if (r.parent_id >= 0) {
+            // d between provider and child (parent policy: always 1).
+            for (const auto& other : trace.records)
+              if (other.id == r.parent_id) {
+                dist.add(hamming_distance(other.arch, r.arch));
+                break;
+              }
+          }
+        }
+      }
+      table.add_row({app.name, ::to_string(policy), TableReport::cell(late.mean()),
+                     TableReport::cell(best),
+                     dist.count() ? TableReport::cell(dist.mean(), 1) : "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the parent policy (d = 1) matches or beats random\n"
+               "providers (whose mean d is large, where Fig. 5 shows transfer turns\n"
+               "negative); 'best' can help early but reduces provider diversity.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Ablation (Section V-B / Related Work): is weight transfer tied to
+// regularized evolution?  The paper argues no — any strategy works "if we
+// can select the provider model fast".  This bench compares:
+//
+//   evolution + parent transfer     (the paper's design; provider free, d=1)
+//   evolution, no transfer          (the paper's baseline)
+//   random search, no transfer      (classic random search)
+//   random search + nearest provider (TransferRandomSearch: provider =
+//       min-d candidate from a bounded window of evaluated models)
+//
+// under the same evaluation budget on the virtual cluster.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "nas/provider_selector.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+void BM_NearestProviderSelection(benchmark::State& state) {
+  const SearchSpace space = make_cifar_space(8);
+  ProviderSelector selector(ProviderPolicy::kNearest, /*window=*/256);
+  Rng rng(1);
+  for (long i = 0; i < 256; ++i)
+    selector.observe(Outcome{i, space.random_arch(rng), rng.uniform(), "k"});
+  const ArchSeq child = space.random_arch(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(selector.select(child, rng));
+  state.SetLabel("256-candidate window, 21 VNs");
+}
+BENCHMARK(BM_NearestProviderSelection);
+
+struct StrategyRow {
+  const char* label;
+  bool evolution;
+  bool transfer;
+};
+
+void print_table() {
+  print_repro_note("search-strategy ablation (transfer beyond evolution, Section V-B)");
+  const int seeds = bench_seeds();
+  const long evals = bench_evals();
+
+  constexpr StrategyRow kRows[] = {
+      {"evolution + parent transfer", true, true},
+      {"evolution (baseline)", true, false},
+      {"random + nearest-provider transfer", false, true},
+      {"random search", false, false},
+  };
+
+  for (AppId id : all_apps()) {
+    const AppConfig app = make_app(id, 1);
+    print_banner(std::cout, app.name + " (" + std::to_string(seeds) + " seeds x " +
+                                std::to_string(evals) + " evals)");
+    TableReport table({"strategy", "best score", "mean of top-5", "late-trace mean",
+                       "mean d(provider, child)"});
+    for (const StrategyRow& row : kRows) {
+      RunningStats best, top5, late, dist;
+      for (int s = 0; s < seeds; ++s) {
+        const std::uint64_t seed = 100 + static_cast<std::uint64_t>(s);
+        auto store = std::make_unique<CheckpointStore>();
+        Evaluator::Config ecfg;
+        ecfg.mode = row.transfer ? TransferMode::kLCS : TransferMode::kNone;
+        ecfg.train = app.estimation_options();
+        ecfg.seed = seed;
+        ecfg.write_checkpoints = row.transfer;
+        Evaluator evaluator(app.space, app.data, *store, ecfg);
+
+        std::unique_ptr<SearchStrategy> strategy;
+        if (row.evolution)
+          strategy = std::make_unique<RegularizedEvolution>(
+              app.space, RegularizedEvolution::Config{16, 8});
+        else if (row.transfer)
+          strategy =
+              std::make_unique<TransferRandomSearch>(app.space, ProviderPolicy::kNearest);
+        else
+          strategy = std::make_unique<RandomSearch>(app.space);
+
+        Rng rng(mix64(seed, 0x5EA6C4));
+        ClusterConfig ccfg;
+        ccfg.num_workers = 8;
+        ccfg.time_scale = app.time_scale;
+        const Trace trace = run_search(evaluator, *strategy, evals, ccfg, rng);
+
+        const auto top = top_k(trace, 5);
+        best.add(top.front().score);
+        RunningStats t5;
+        for (const auto& r : top) t5.add(r.score);
+        top5.add(t5.mean());
+        for (std::size_t i = trace.records.size() / 2; i < trace.records.size(); ++i)
+          late.add(trace.records[i].score);
+        for (const auto& r : trace.records) {
+          if (r.parent_id < 0) continue;
+          for (const auto& other : trace.records)
+            if (other.id == r.parent_id) {
+              dist.add(hamming_distance(other.arch, r.arch));
+              break;
+            }
+        }
+      }
+      table.add_row({row.label, TableReport::cell(best.mean()),
+                     TableReport::cell(top5.mean()), TableReport::cell(late.mean()),
+                     dist.count() ? TableReport::cell(dist.mean(), 1) : "-"});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape: evolution + parent transfer is strongest — providers\n"
+               "sit at d = 1, where Fig. 5 shows transfer is reliably positive.  For\n"
+               "random search, even the NEAREST provider in the window is far away in\n"
+               "these huge spaces (mean d ~ 10), i.e. in the regime where Fig. 4/5\n"
+               "show transfer is neutral-to-harmful — transfer alone cannot rescue a\n"
+               "strategy that never proposes similar candidates, which is exactly why\n"
+               "the paper pairs the mechanism with an evolutionary search.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 5: the effect of provider/receiver architecture distance d on
+// transfer effectiveness.
+//
+// Pairs are generated at controlled distances (receiver = provider mutated
+// 1..max_d times) and each transferable pair is classified positive/negative
+// exactly as in Fig. 4.
+//
+// Paper: transferable fraction and positive fraction both DECREASE with d;
+// for small d (< 3) positives clearly dominate negatives; Uno's LCS curve is
+// nearly flat because all its VNs share one choice set.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+void BM_MutationWalk(benchmark::State& state) {
+  const SearchSpace space = make_cifar_space(8);
+  Rng rng(1);
+  ArchSeq arch = space.random_arch(rng);
+  for (auto _ : state) {
+    arch = space.mutate(arch, rng);
+    benchmark::DoNotOptimize(arch);
+  }
+}
+BENCHMARK(BM_MutationWalk);
+
+void print_table() {
+  print_repro_note("Fig. 5 (distance d vs transfer effectiveness)");
+  const int n_pairs = static_cast<int>(env_long("SWTNAS_BENCH_PAIRS", 72));
+  for (AppId id : all_apps()) {
+    const AppConfig app = make_app(id, 1);
+    PairStudyConfig cfg;
+    cfg.n_pairs = n_pairs;
+    cfg.seed = 29;
+    cfg.stratify_by_distance = true;
+    cfg.max_d = 6;
+    const auto outcomes = run_pair_study(app, cfg);
+
+    print_banner(std::cout, app.name);
+    TableReport table({"d", "mode", "pairs", "transferable %", "positive %", "negative %"});
+    for (TransferMode mode : {TransferMode::kLP, TransferMode::kLCS}) {
+      for (const auto& [d, s] : summarize_by_distance(outcomes, mode)) {
+        const double tf = s.transferable_frac();
+        const double pos = s.pairs ? static_cast<double>(s.positive) / s.pairs : 0.0;
+        const double neg = s.pairs ? static_cast<double>(s.negative) / s.pairs : 0.0;
+        table.add_row({std::to_string(d), scheme_name(mode), std::to_string(s.pairs),
+                       TableReport::cell_pct(tf), TableReport::cell_pct(pos),
+                       TableReport::cell_pct(neg)});
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper Fig. 5): transferable and positive fractions "
+               "fall as d grows; at d <= 2 positives dominate negatives, which is why\n"
+               "the evolutionary integration (d = 1 parent/child) always transfers.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 8: epochs needed to fully train the top-K models per scheme, with the
+// resulting objective metrics, and the geometric-mean full-training speedup.
+//
+// Paper: LCS achieves 1.5x and LP 1.4x geomean speedup over training from
+// scratch, at equal or better final objective metrics.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+void BM_FullTrainOneModel(benchmark::State& state) {
+  const AppConfig app = make_app(AppId::kMnist, 1, {.data_scale = 0.25});
+  Rng rng(1);
+  const ArchSeq arch = app.space.random_arch(rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(full_train(app, arch, nullptr, TransferMode::kNone,
+                                        {.seed = seed++, .with_full_pass = false}));
+  }
+}
+BENCHMARK(BM_FullTrainOneModel)->Unit(benchmark::kMillisecond);
+
+void print_table() {
+  print_repro_note("Fig. 8 (full-training speedup of top-K models)");
+  const int seeds = bench_seeds();
+  const long evals = bench_evals();
+  const auto k = static_cast<std::size_t>(env_long("SWTNAS_BENCH_TOPK", 5));
+
+  TableReport table({"App", "scheme", "epochs to early stop", "obj (early stop)",
+                     "obj (20 epochs)", "speedup vs baseline"});
+  std::map<TransferMode, std::vector<double>> speedups;
+  for (AppId id : all_apps()) {
+    const AppConfig app = make_app(id, 1);
+    const auto study = full_training_study(app, seeds, evals, k, /*with_full_pass=*/true);
+    const double base_epochs = study.at(TransferMode::kNone).epochs_to_stop.mean();
+    for (TransferMode mode : kAllSchemes) {
+      const FullTrainAgg& agg = study.at(mode);
+      const double speedup = base_epochs / agg.epochs_to_stop.mean();
+      if (mode != TransferMode::kNone) speedups[mode].push_back(speedup);
+      table.add_row({app.name, scheme_name(mode),
+                     TableReport::cell(agg.epochs_to_stop.mean(), 1),
+                     TableReport::cell_pm(agg.early_objective.mean(),
+                                          agg.early_objective.stddev()),
+                     TableReport::cell_pm(agg.full_objective.mean(),
+                                          agg.full_objective.stddev()),
+                     mode == TransferMode::kNone ? "1.00x"
+                                                 : TableReport::cell(speedup, 2) + "x"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nGeometric-mean speedup across applications:\n"
+            << "  LP : " << TableReport::cell(geometric_mean(speedups[TransferMode::kLP]), 2)
+            << "x   (paper: 1.4x)\n"
+            << "  LCS: " << TableReport::cell(geometric_mean(speedups[TransferMode::kLCS]), 2)
+            << "x   (paper: 1.5x)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks of the transfer mechanism itself (Section VIII-E
+// "Sources of Overhead"): LP/LCS matching and weight copying.
+//
+// Paper: "Weight transfer mechanisms at most take 150 ms in the training
+// process across all applications, which is negligible."  Our shape
+// sequences are the same lengths as the paper's (tensor counts per model),
+// so the matcher costs transfer directly.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+ShapeSeq random_seq(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  ShapeSeq s;
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (rng.uniform_index(3)) {
+      case 0: s.push_back(Shape{static_cast<std::int64_t>(8 + rng.uniform_index(4))}); break;
+      case 1:
+        s.push_back(Shape{static_cast<std::int64_t>(16 + rng.uniform_index(4)),
+                          static_cast<std::int64_t>(16 + rng.uniform_index(4))});
+        break;
+      default:
+        s.push_back(Shape{3, 3, static_cast<std::int64_t>(4 + rng.uniform_index(4)),
+                          static_cast<std::int64_t>(4 + rng.uniform_index(4))});
+    }
+  }
+  return s;
+}
+
+void BM_LpMatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ShapeSeq a = random_seq(n, 1);
+  const ShapeSeq b = random_seq(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(lp_match(a, b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LpMatch)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oN);
+
+void BM_LcsMatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ShapeSeq a = random_seq(n, 1);
+  const ShapeSeq b = random_seq(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(lcs_match(a, b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LcsMatch)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oNSquared);
+
+void BM_ApplyTransfer(benchmark::State& state) {
+  const AppConfig app = make_app(static_cast<AppId>(state.range(0)), 1);
+  Rng rng(1);
+  const ArchSeq parent = app.space.random_arch(rng);
+  const ArchSeq child = app.space.mutate(parent, rng);
+  NetworkPtr provider = app.space.build(parent);
+  provider->init(rng);
+  const Checkpoint ckpt = Checkpoint::from_network(*provider, parent, 0.0);
+  NetworkPtr receiver = app.space.build(child);
+  receiver->init(rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apply_transfer(ckpt, *receiver, TransferMode::kLCS));
+  state.SetLabel(app.name);
+}
+BENCHMARK(BM_ApplyTransfer)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  const AppConfig app = make_app(static_cast<AppId>(state.range(0)), 1);
+  Rng rng(1);
+  NetworkPtr net = app.space.build(app.space.random_arch(rng));
+  net->init(rng);
+  const Checkpoint ckpt = Checkpoint::from_network(*net, {0}, 0.0);
+  for (auto _ : state) {
+    const auto bytes = serialize(ckpt);
+    benchmark::DoNotOptimize(deserialize(bytes));
+  }
+  state.SetLabel(app.name);
+}
+BENCHMARK(BM_CheckpointRoundTrip)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void print_table() {
+  print_repro_note("Section VIII-E mechanism overheads (microbenchmarks above)");
+  std::cout << "Expected shape: LP linear / LCS quadratic in sequence length; the\n"
+               "end-to-end apply_transfer cost sits far below the paper's 150 ms\n"
+               "bound at our model sizes, i.e. the mechanism is negligible next to\n"
+               "training and checkpoint I/O.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table I: summary of evaluated applications and their search spaces.
+//
+// Paper values (full scale): CIFAR10 2558T candidates / 21 VNs, MNIST 120M /
+// 11, NT3 3M / 8-9, Uno 302T / 13.  Our downscaled spaces keep the VN
+// structure; cardinalities shrink with the per-VN choice counts.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace swt;
+
+void BM_BuildRandomCandidate(benchmark::State& state) {
+  const AppConfig app = make_app(static_cast<AppId>(state.range(0)), 1);
+  Rng rng(1);
+  for (auto _ : state) {
+    const ArchSeq arch = app.space.random_arch(rng);
+    NetworkPtr net = app.space.build(arch);
+    benchmark::DoNotOptimize(net);
+  }
+  state.SetLabel(app.name);
+}
+BENCHMARK(BM_BuildRandomCandidate)->DenseRange(0, 3);
+
+std::string dataset_dims(const Dataset& d) {
+  std::ostringstream os;
+  for (std::size_t s = 0; s < d.num_sources(); ++s) {
+    if (s) os << " + ";
+    os << d.size() << "x" << d.sample_shape(s).to_string();
+  }
+  return os.str();
+}
+
+void print_table() {
+  using namespace swt::bench;
+  print_repro_note("Table I (applications and search spaces)");
+  TableReport table({"App", "Train size", "Val size", "Space size", "#VNs", "Loss", "Obj."});
+  for (AppId id : all_apps()) {
+    const AppConfig app = make_app(id, 1);
+    std::ostringstream size;
+    size << "10^" << TableReport::cell(app.space.log10_cardinality(), 1);
+    table.add_row({app.name, dataset_dims(app.data.train), dataset_dims(app.data.val),
+                   size.str(), std::to_string(app.space.num_vns()),
+                   app.objective == ObjectiveKind::kR2 ? "MAE" : "CE",
+                   to_string(app.objective)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper (Table I): CIFAR10 2558T/21 VNs, MNIST 120M/11, NT3 3M/8, "
+               "Uno 302T/13; losses CE/CE/CE/MAE; objectives ACC/ACC/ACC/R2.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table IV: model complexity (number of parameters) of the top-scored
+// models per scheme.
+//
+// Paper: parameter ranges are broadly similar across schemes; NT3+LCS and
+// Uno+LP find somewhat smaller models, i.e. transfer does not inflate model
+// complexity and can even reduce it.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+void BM_ParamCount(benchmark::State& state) {
+  const AppConfig app = make_app(AppId::kCifar, 1);
+  Rng rng(1);
+  NetworkPtr net = app.space.build(app.space.random_arch(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(net->param_count());
+}
+BENCHMARK(BM_ParamCount);
+
+void print_table() {
+  print_repro_note("Table IV (model complexity of top-scored models)");
+  const int seeds = bench_seeds();
+  const long evals = bench_evals();
+  const auto k = static_cast<std::size_t>(env_long("SWTNAS_BENCH_TOPK", 5));
+
+  TableReport table({"Application", "Scheme", "params mean +- std (x10^3)", "max (x10^3)",
+                     "min (x10^3)"});
+  for (AppId id : all_apps()) {
+    const AppConfig app = make_app(id, 1);
+    // Complexity only needs the NAS runs + param counting, not full
+    // training, but we reuse the shared study (without the 20-epoch pass)
+    // so Table IV rows describe exactly the same model sets as Table III.
+    const auto study = full_training_study(app, seeds, evals, k, /*with_full_pass=*/false);
+    for (TransferMode mode : kAllSchemes) {
+      const FullTrainAgg& agg = study.at(mode);
+      // Our downscaled models are thousands (not millions) of parameters.
+      table.add_row({app.name, scheme_name(mode),
+                     TableReport::cell_pm(agg.params_m.mean() * 1e3,
+                                          agg.params_m.stddev() * 1e3, 1),
+                     TableReport::cell(agg.params_m.max() * 1e3, 1),
+                     TableReport::cell(agg.params_m.min() * 1e3, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper (Table IV, x10^6 params): schemes have similar ranges; NT3+LCS "
+               "(6.9 vs 11.6 baseline) and Uno+LP (5.1 vs 6.2) are smaller.\n"
+               "Expected shape: no systematic complexity inflation from transfer.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

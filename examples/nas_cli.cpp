@@ -1,0 +1,114 @@
+// Command-line NAS driver: run any app x scheme combination and export the
+// trace as CSV for offline analysis (the DeepHyper-results-file workflow).
+//
+//   $ ./nas_cli --app cifar --mode lcs --evals 100 --workers 16
+//               --seed 3 --out trace.csv [--async-ckpt] [--compress quant8]
+//
+// Prints a run summary (best score, makespan, checkpoint traffic) and, with
+// --out, writes the full per-candidate trace.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "exp/apps.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/trace_io.hpp"
+
+namespace {
+
+using namespace swt;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--app cifar|mnist|nt3|uno] [--mode baseline|lp|lcs]\n"
+               "       [--evals N] [--workers N] [--seed N] [--population N]\n"
+               "       [--sample N] [--out trace.csv] [--async-ckpt]\n"
+               "       [--compress none|fp16|quant8]\n";
+  std::exit(2);
+}
+
+AppId parse_app(const std::string& name, const char* argv0) {
+  if (name == "cifar") return AppId::kCifar;
+  if (name == "mnist") return AppId::kMnist;
+  if (name == "nt3") return AppId::kNt3;
+  if (name == "uno") return AppId::kUno;
+  usage(argv0);
+}
+
+TransferMode parse_mode(const std::string& name, const char* argv0) {
+  if (name == "baseline") return TransferMode::kNone;
+  if (name == "lp") return TransferMode::kLP;
+  if (name == "lcs") return TransferMode::kLCS;
+  usage(argv0);
+}
+
+CompressionKind parse_compression(const std::string& name, const char* argv0) {
+  if (name == "none") return CompressionKind::kNone;
+  if (name == "fp16") return CompressionKind::kFp16;
+  if (name == "quant8") return CompressionKind::kQuant8;
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AppId app_id = AppId::kMnist;
+  NasRunConfig cfg;
+  cfg.mode = TransferMode::kLCS;
+  cfg.n_evals = 60;
+  cfg.seed = 1;
+  cfg.cluster.num_workers = 8;
+  cfg.evolution = {.population_size = 16, .sample_size = 8};
+  std::string out_path;
+  CompressionKind compression = CompressionKind::kNone;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--app") app_id = parse_app(next(), argv[0]);
+    else if (arg == "--mode") cfg.mode = parse_mode(next(), argv[0]);
+    else if (arg == "--evals") cfg.n_evals = std::stol(next());
+    else if (arg == "--workers") cfg.cluster.num_workers = std::stoi(next());
+    else if (arg == "--seed") cfg.seed = std::stoull(next());
+    else if (arg == "--population") cfg.evolution.population_size = std::stoi(next());
+    else if (arg == "--sample") cfg.evolution.sample_size = std::stoi(next());
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--async-ckpt") cfg.cluster.async_checkpointing = true;
+    else if (arg == "--compress") compression = parse_compression(next(), argv[0]);
+    else usage(argv[0]);
+  }
+
+  const AppConfig app = make_app(app_id, cfg.seed);
+  std::cout << "app=" << app.name << " mode=" << to_string(cfg.mode)
+            << " evals=" << cfg.n_evals << " workers=" << cfg.cluster.num_workers
+            << " seed=" << cfg.seed << " async=" << cfg.cluster.async_checkpointing
+            << " compress=" << to_string(compression) << "\n";
+
+  cfg.compression = compression;
+  const NasRun run = run_nas(app, cfg);
+
+  const auto top = top_k(run.trace, 5);
+  TableReport table({"rank", "arch", "score", "#params"});
+  for (std::size_t i = 0; i < top.size(); ++i)
+    table.add_row({std::to_string(i + 1), arch_to_string(top[i].arch),
+                   TableReport::cell(top[i].score), std::to_string(top[i].param_count)});
+  print_banner(std::cout, "top candidates");
+  table.print(std::cout);
+
+  std::cout << "\nmakespan            : " << TableReport::cell(run.trace.makespan, 2)
+            << " virtual s\n"
+            << "checkpoint overhead : "
+            << TableReport::cell(run.trace.total_ckpt_overhead(), 2) << " virtual s\n"
+            << "checkpoints stored  : " << run.store->count() << " ("
+            << run.store->total_bytes_written() / 1024 << " KiB written)\n";
+
+  if (!out_path.empty()) {
+    write_trace_csv(out_path, run.trace);
+    std::cout << "trace written to " << out_path << "\n";
+  }
+  return 0;
+}

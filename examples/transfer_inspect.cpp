@@ -1,0 +1,68 @@
+// Inspect the weight-transfer mechanics on a pair of architectures:
+// prints both shape sequences, the LP and LCS matches, and what fraction of
+// the receiver's parameters each heuristic initialises.
+//
+//   $ ./transfer_inspect [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/transfer.hpp"
+#include "exp/apps.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swt;
+  const std::uint64_t seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 3;
+
+  const SearchSpace space = make_mnist_space(8);
+  Rng rng(seed);
+  const ArchSeq provider_arch = space.random_arch(rng);
+  // Receiver: two mutation steps away, so the sequences differ but overlap.
+  ArchSeq receiver_arch = space.mutate(provider_arch, rng);
+  receiver_arch = space.mutate(receiver_arch, rng);
+
+  NetworkPtr provider = space.build(provider_arch);
+  NetworkPtr receiver = space.build(receiver_arch);
+  provider->init(rng);
+  receiver->init(rng);
+
+  std::cout << "Provider arch " << arch_to_string(provider_arch) << ":\n  "
+            << space.describe(provider_arch) << "\n";
+  std::cout << "Receiver arch " << arch_to_string(receiver_arch) << ":\n  "
+            << space.describe(receiver_arch) << "\n";
+  std::cout << "Architecture distance d = "
+            << hamming_distance(provider_arch, receiver_arch) << "\n\n";
+
+  const SigSeq pseq = signature_sequence(*provider);
+  const SigSeq rseq = signature_sequence(*receiver);
+  std::cout << "Provider shape sequence (" << pseq.size() << " layers):\n  "
+            << to_string(pseq) << "\n";
+  std::cout << "Receiver shape sequence (" << rseq.size() << " layers):\n  "
+            << to_string(rseq) << "\n";
+
+  for (const TransferMode mode : {TransferMode::kLP, TransferMode::kLCS}) {
+    const MatchPairs pairs = match(mode, pseq, rseq);
+    print_banner(std::cout, std::string(to_string(mode)) + " match");
+    TableReport table({"provider layer", "receiver layer", "signature"});
+    for (const auto& [pi, ri] : pairs) {
+      std::string sig;
+      for (const auto& sh : pseq[pi]) sig += sh.to_string() + " ";
+      table.add_row({std::to_string(pi), std::to_string(ri), sig});
+    }
+    table.print(std::cout);
+
+    const Checkpoint ckpt = Checkpoint::from_network(*provider, provider_arch, 0.0);
+    NetworkPtr fresh = space.build(receiver_arch);
+    Rng init_rng(seed + 1);
+    fresh->init(init_rng);
+    const TransferStats stats = apply_transfer(ckpt, *fresh, mode);
+    std::cout << to_string(mode) << " transfers " << stats.layers_matched << "/"
+              << stats.receiver_layers << " layers (" << stats.tensors_transferred
+              << " tensors), " << stats.values_transferred << " of "
+              << fresh->param_count() << " parameter values ("
+              << TableReport::cell_pct(static_cast<double>(stats.values_transferred) /
+                                       static_cast<double>(fresh->param_count()))
+              << ")\n";
+  }
+  return 0;
+}

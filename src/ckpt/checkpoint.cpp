@@ -1,0 +1,114 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "ckpt/wire.hpp"
+
+namespace swt {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53575443;  // "SWTC"
+constexpr std::uint32_t kVersion = 2;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+  static const auto table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Checkpoint Checkpoint::from_network(Network& net, std::vector<int> arch, double score) {
+  Checkpoint ckpt;
+  ckpt.arch = std::move(arch);
+  ckpt.score = score;
+  for (const auto& p : net.params()) ckpt.tensors.push_back({p.name, *p.value});
+  return ckpt;
+}
+
+std::size_t Checkpoint::payload_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : tensors) n += static_cast<std::size_t>(t.value.numel()) * sizeof(float);
+  return n;
+}
+
+std::vector<std::byte> serialize(const Checkpoint& ckpt, CompressionKind compression) {
+  wire::Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(compression));
+  w.f64(ckpt.score);
+  w.u64(ckpt.arch.size());
+  for (int c : ckpt.arch) w.u32(static_cast<std::uint32_t>(c));
+  w.u64(ckpt.tensors.size());
+  for (const auto& t : ckpt.tensors) {
+    w.str(t.name);
+    w.u64(t.value.shape().rank());
+    for (std::int64_t d : t.value.shape().dims()) w.u64(static_cast<std::uint64_t>(d));
+    const auto payload = encode_values(t.value.values(), compression);
+    w.raw(payload.data(), payload.size());
+  }
+  const std::uint32_t crc = crc32(w.bytes().data(), w.bytes().size());
+  w.u32(crc);
+  return std::move(w.bytes());
+}
+
+Checkpoint deserialize(const std::vector<std::byte>& bytes) {
+  if (bytes.size() < sizeof(std::uint32_t) * 3)
+    throw std::runtime_error("checkpoint: stream too short");
+  // Verify the CRC over everything before the 4-byte trailer.
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored;
+  std::memcpy(&stored, bytes.data() + body, sizeof stored);
+  if (crc32(bytes.data(), body) != stored)
+    throw std::runtime_error("checkpoint: CRC mismatch (corrupted checkpoint)");
+
+  wire::Reader r(bytes.data(), body);
+  if (r.u32() != kMagic) throw std::runtime_error("checkpoint: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw std::runtime_error("checkpoint: unsupported version " + std::to_string(version));
+  const std::uint32_t compression_raw = r.u32();
+  if (compression_raw > static_cast<std::uint32_t>(CompressionKind::kQuant8))
+    throw std::runtime_error("checkpoint: unknown compression kind");
+  const auto compression = static_cast<CompressionKind>(compression_raw);
+  Checkpoint ckpt;
+  ckpt.score = r.f64();
+  const std::uint64_t arch_len = r.u64();
+  ckpt.arch.reserve(arch_len);
+  for (std::uint64_t i = 0; i < arch_len; ++i) ckpt.arch.push_back(static_cast<int>(r.u32()));
+  const std::uint64_t n_tensors = r.u64();
+  ckpt.tensors.reserve(n_tensors);
+  for (std::uint64_t i = 0; i < n_tensors; ++i) {
+    NamedTensor nt;
+    nt.name = r.str();
+    const std::uint64_t rank = r.u64();
+    std::vector<std::int64_t> dims(rank);
+    for (auto& d : dims) d = static_cast<std::int64_t>(r.u64());
+    Shape shape(std::move(dims));
+    const auto count = static_cast<std::size_t>(shape.numel());
+    std::vector<std::byte> payload(encoded_size(compression, count));
+    r.raw(payload.data(), payload.size());
+    nt.value = Tensor(std::move(shape), decode_values(payload, count, compression));
+    ckpt.tensors.push_back(std::move(nt));
+  }
+  if (r.remaining() != 0) throw std::runtime_error("checkpoint: trailing garbage");
+  return ckpt;
+}
+
+}  // namespace swt

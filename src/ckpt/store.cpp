@@ -1,0 +1,86 @@
+#include "ckpt/store.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace swt {
+
+CheckpointStore::CheckpointStore(Backend backend, std::filesystem::path dir,
+                                 PfsCostModel model, CompressionKind compression)
+    : backend_(backend), dir_(std::move(dir)), model_(model), compression_(compression) {
+  if (backend_ == Backend::kDisk) {
+    if (dir_.empty()) throw std::invalid_argument("CheckpointStore: disk backend needs a dir");
+    std::filesystem::create_directories(dir_);
+  }
+}
+
+std::filesystem::path CheckpointStore::path_for(const std::string& key) const {
+  return dir_ / (key + ".swtc");
+}
+
+IoStats CheckpointStore::put(const std::string& key, const Checkpoint& ckpt) {
+  std::vector<std::byte> bytes = serialize(ckpt, compression_);
+  IoStats stats{bytes.size(), model_.write_cost(bytes.size())};
+  std::scoped_lock lock(mutex_);
+  sizes_.push_back(bytes.size());
+  total_written_ += bytes.size();
+  if (backend_ == Backend::kMemory) {
+    memory_[key] = std::move(bytes);
+  } else {
+    std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("CheckpointStore: cannot open " + key + " for write");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("CheckpointStore: short write for " + key);
+    disk_sizes_[key] = bytes.size();
+  }
+  return stats;
+}
+
+std::pair<Checkpoint, IoStats> CheckpointStore::get(const std::string& key) const {
+  std::vector<std::byte> bytes;
+  {
+    std::scoped_lock lock(mutex_);
+    if (backend_ == Backend::kMemory) {
+      auto it = memory_.find(key);
+      if (it == memory_.end())
+        throw std::out_of_range("CheckpointStore: unknown key " + key);
+      bytes = it->second;
+    } else {
+      auto it = disk_sizes_.find(key);
+      if (it == disk_sizes_.end())
+        throw std::out_of_range("CheckpointStore: unknown key " + key);
+      std::ifstream in(path_for(key), std::ios::binary);
+      if (!in) throw std::runtime_error("CheckpointStore: cannot open " + key + " for read");
+      bytes.resize(it->second);
+      in.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+      if (static_cast<std::size_t>(in.gcount()) != bytes.size())
+        throw std::runtime_error("CheckpointStore: short read for " + key);
+    }
+  }
+  IoStats stats{bytes.size(), model_.read_cost(bytes.size())};
+  return {deserialize(bytes), stats};
+}
+
+bool CheckpointStore::contains(const std::string& key) const {
+  std::scoped_lock lock(mutex_);
+  return backend_ == Backend::kMemory ? memory_.contains(key) : disk_sizes_.contains(key);
+}
+
+std::size_t CheckpointStore::count() const {
+  std::scoped_lock lock(mutex_);
+  return backend_ == Backend::kMemory ? memory_.size() : disk_sizes_.size();
+}
+
+std::vector<std::size_t> CheckpointStore::stored_sizes() const {
+  std::scoped_lock lock(mutex_);
+  return sizes_;
+}
+
+std::size_t CheckpointStore::total_bytes_written() const {
+  std::scoped_lock lock(mutex_);
+  return total_written_;
+}
+
+}  // namespace swt

@@ -1,0 +1,84 @@
+// Checkpoint store with a parametric parallel-file-system cost model.
+//
+// The paper checkpoints every scored candidate to a PFS in HDF5 and reads the
+// parent's checkpoint back before scoring a child (Section VI).  Here a store
+// keeps serialized checkpoints either in memory or on disk, and *prices* each
+// access with a latency + size/bandwidth model.  The price is returned to the
+// caller (and accumulated), so the virtual cluster can charge checkpoint I/O
+// to its event clock — which is exactly the overhead Fig. 10/11 studies —
+// without the wall-clock noise of a real shared file system.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace swt {
+
+/// Simple affine cost model: seconds = latency + bytes / bandwidth.
+struct PfsCostModel {
+  double write_latency_s = 0.020;
+  double write_bandwidth_bps = 25e6;  ///< bytes per second (contended PFS)
+  double read_latency_s = 0.020;
+  double read_bandwidth_bps = 25e6;
+
+  [[nodiscard]] double write_cost(std::size_t bytes) const noexcept {
+    return write_latency_s + static_cast<double>(bytes) / write_bandwidth_bps;
+  }
+  [[nodiscard]] double read_cost(std::size_t bytes) const noexcept {
+    return read_latency_s + static_cast<double>(bytes) / read_bandwidth_bps;
+  }
+};
+
+struct IoStats {
+  std::size_t bytes = 0;
+  double cost_seconds = 0.0;  ///< modelled PFS time, not wall time
+};
+
+class CheckpointStore {
+ public:
+  enum class Backend { kMemory, kDisk };
+
+  /// Disk backend persists under `dir` (created if missing); memory backend
+  /// ignores `dir`.  `compression` applies to every put() (see compress.hpp).
+  explicit CheckpointStore(Backend backend = Backend::kMemory,
+                           std::filesystem::path dir = {}, PfsCostModel model = {},
+                           CompressionKind compression = CompressionKind::kNone);
+
+  /// Serialize and store under `key` (overwrites); returns modelled cost.
+  IoStats put(const std::string& key, const Checkpoint& ckpt);
+
+  /// Load and decode; throws std::out_of_range for unknown keys and
+  /// std::runtime_error for corrupted payloads.
+  [[nodiscard]] std::pair<Checkpoint, IoStats> get(const std::string& key) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t count() const;
+
+  /// Serialized sizes of every checkpoint ever put(), in order (Fig. 11).
+  [[nodiscard]] std::vector<std::size_t> stored_sizes() const;
+  [[nodiscard]] std::size_t total_bytes_written() const;
+
+  [[nodiscard]] const PfsCostModel& cost_model() const noexcept { return model_; }
+  [[nodiscard]] CompressionKind compression() const noexcept { return compression_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(const std::string& key) const;
+
+  Backend backend_;
+  std::filesystem::path dir_;
+  PfsCostModel model_;
+  CompressionKind compression_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<std::byte>> memory_;
+  std::map<std::string, std::size_t> disk_sizes_;
+  std::vector<std::size_t> sizes_;
+  std::size_t total_written_ = 0;
+};
+
+}  // namespace swt

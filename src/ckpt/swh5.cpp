@@ -1,0 +1,274 @@
+#include "ckpt/swh5.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "ckpt/wire.hpp"
+
+namespace swt::swh5 {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53574835;  // "SWH5"
+constexpr std::uint32_t kVersion = 1;
+
+std::pair<std::string, std::string> split_head(const std::string& path) {
+  const auto pos = path.find('/');
+  if (pos == std::string::npos) return {path, ""};
+  return {path.substr(0, pos), path.substr(pos + 1)};
+}
+
+void check_simple_name(const std::string& name, const char* what) {
+  if (name.empty() || name.find('/') != std::string::npos)
+    throw std::invalid_argument(std::string("swh5: invalid ") + what + " name '" + name +
+                                "'");
+}
+
+}  // namespace
+
+Group& Group::create_group(const std::string& path) {
+  const auto [head, rest] = split_head(path);
+  check_simple_name(head, "group");
+  Group& child = groups_[head];
+  return rest.empty() ? child : child.create_group(rest);
+}
+
+void Group::create_dataset(const std::string& name, Tensor value) {
+  check_simple_name(name, "dataset");
+  datasets_[name] = std::move(value);
+}
+
+void Group::set_attr(const std::string& name, Attribute value) {
+  check_simple_name(name, "attribute");
+  attrs_[name] = std::move(value);
+}
+
+bool Group::has_group(const std::string& path) const {
+  const auto [head, rest] = split_head(path);
+  const auto it = groups_.find(head);
+  if (it == groups_.end()) return false;
+  return rest.empty() ? true : it->second.has_group(rest);
+}
+
+bool Group::has_dataset(const std::string& path) const {
+  const auto [head, rest] = split_head(path);
+  if (rest.empty()) return datasets_.contains(head);
+  const auto it = groups_.find(head);
+  return it != groups_.end() && it->second.has_dataset(rest);
+}
+
+bool Group::has_attr(const std::string& name) const { return attrs_.contains(name); }
+
+const Group& Group::group(const std::string& path) const {
+  const auto [head, rest] = split_head(path);
+  const auto it = groups_.find(head);
+  if (it == groups_.end()) throw std::out_of_range("swh5: no group '" + head + "'");
+  return rest.empty() ? it->second : it->second.group(rest);
+}
+
+Group& Group::group(const std::string& path) {
+  return const_cast<Group&>(std::as_const(*this).group(path));
+}
+
+const Tensor& Group::dataset(const std::string& path) const {
+  const auto [head, rest] = split_head(path);
+  if (rest.empty()) {
+    const auto it = datasets_.find(head);
+    if (it == datasets_.end()) throw std::out_of_range("swh5: no dataset '" + head + "'");
+    return it->second;
+  }
+  return group(head).dataset(rest);
+}
+
+const Attribute& Group::attr(const std::string& name) const {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) throw std::out_of_range("swh5: no attribute '" + name + "'");
+  return it->second;
+}
+
+std::size_t Group::total_datasets() const noexcept {
+  std::size_t n = datasets_.size();
+  for (const auto& [name, child] : groups_) n += child.total_datasets();
+  return n;
+}
+
+std::size_t Group::total_payload_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [name, t] : datasets_)
+    n += static_cast<std::size_t>(t.numel()) * sizeof(float);
+  for (const auto& [name, child] : groups_) n += child.total_payload_bytes();
+  return n;
+}
+
+namespace {
+
+void write_group(wire::Writer& w, const Group& g) {
+  w.u64(g.attrs().size());
+  for (const auto& [name, value] : g.attrs()) {
+    w.str(name);
+    w.u8(static_cast<std::uint8_t>(value.index()));
+    switch (value.index()) {
+      case 0: w.i64(std::get<std::int64_t>(value)); break;
+      case 1: w.f64(std::get<double>(value)); break;
+      default: w.str(std::get<std::string>(value)); break;
+    }
+  }
+  w.u64(g.datasets().size());
+  for (const auto& [name, t] : g.datasets()) {
+    w.str(name);
+    w.u64(t.shape().rank());
+    for (std::int64_t d : t.shape().dims()) w.u64(static_cast<std::uint64_t>(d));
+    w.raw(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  }
+  w.u64(g.groups().size());
+  for (const auto& [name, child] : g.groups()) {
+    w.str(name);
+    write_group(w, child);
+  }
+}
+
+Group read_group(wire::Reader& r, int depth) {
+  if (depth > 64) throw std::runtime_error("swh5: group nesting too deep");
+  Group g;
+  const std::uint64_t n_attrs = r.u64();
+  for (std::uint64_t i = 0; i < n_attrs; ++i) {
+    const std::string name = r.str();
+    switch (r.u8()) {
+      case 0: g.set_attr(name, r.i64()); break;
+      case 1: g.set_attr(name, r.f64()); break;
+      case 2: g.set_attr(name, r.str()); break;
+      default: throw std::runtime_error("swh5: unknown attribute tag");
+    }
+  }
+  const std::uint64_t n_datasets = r.u64();
+  for (std::uint64_t i = 0; i < n_datasets; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t rank = r.u64();
+    if (rank > 16) throw std::runtime_error("swh5: implausible dataset rank");
+    std::vector<std::int64_t> dims(rank);
+    for (auto& d : dims) d = static_cast<std::int64_t>(r.u64());
+    Tensor t{Shape(std::move(dims))};
+    r.raw(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+    g.create_dataset(name, std::move(t));
+  }
+  const std::uint64_t n_groups = r.u64();
+  for (std::uint64_t i = 0; i < n_groups; ++i) {
+    const std::string name = r.str();
+    g.create_group(name) = read_group(r, depth + 1);
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const Group& root) {
+  wire::Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  write_group(w, root);
+  const std::uint32_t crc = crc32(w.bytes().data(), w.size());
+  w.u32(crc);
+  return std::move(w.bytes());
+}
+
+Group deserialize(const std::vector<std::byte>& bytes) {
+  if (bytes.size() < 3 * sizeof(std::uint32_t))
+    throw std::runtime_error("swh5: stream too short");
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored;
+  std::memcpy(&stored, bytes.data() + body, sizeof stored);
+  if (crc32(bytes.data(), body) != stored)
+    throw std::runtime_error("swh5: CRC mismatch (corrupted file)");
+
+  wire::Reader r(bytes.data(), body);
+  if (r.u32() != kMagic) throw std::runtime_error("swh5: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw std::runtime_error("swh5: unsupported version " + std::to_string(version));
+  Group root = read_group(r, 0);
+  if (r.remaining() != 0) throw std::runtime_error("swh5: trailing garbage");
+  return root;
+}
+
+void save(const std::filesystem::path& path, const Group& root) {
+  const auto bytes = serialize(root);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("swh5: cannot open " + path.string() + " for write");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("swh5: short write to " + path.string());
+}
+
+Group load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("swh5: cannot open " + path.string());
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size)
+    throw std::runtime_error("swh5: short read from " + path.string());
+  return deserialize(bytes);
+}
+
+namespace {
+
+std::string join_ints(const std::vector<int>& values) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << '|';
+    os << values[i];
+  }
+  return os.str();
+}
+
+std::vector<int> split_ints(const std::string& text) {
+  std::vector<int> values;
+  if (text.empty()) return values;
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, '|')) values.push_back(std::stoi(token));
+  return values;
+}
+
+}  // namespace
+
+Group from_checkpoint(const Checkpoint& ckpt) {
+  Group root;
+  root.set_attr("arch", join_ints(ckpt.arch));
+  root.set_attr("score", ckpt.score);
+  // Group order in a std::map is alphabetical; the topological tensor order
+  // (which defines the shape sequence) is preserved explicitly, as Keras
+  // does with its layer_names attribute.
+  std::ostringstream order;
+  Group& model = root.create_group("model");
+  for (std::size_t i = 0; i < ckpt.tensors.size(); ++i) {
+    const auto& t = ckpt.tensors[i];
+    if (i) order << '\n';
+    order << t.name;
+    const auto slash = t.name.rfind('/');
+    const std::string layer = slash == std::string::npos ? "" : t.name.substr(0, slash);
+    const std::string leaf = slash == std::string::npos ? t.name : t.name.substr(slash + 1);
+    Group& parent = layer.empty() ? model : model.create_group(layer);
+    parent.create_dataset(leaf, t.value);
+  }
+  root.set_attr("tensor_order", order.str());
+  return root;
+}
+
+Checkpoint to_checkpoint(const Group& root) {
+  Checkpoint ckpt;
+  ckpt.arch = split_ints(std::get<std::string>(root.attr("arch")));
+  ckpt.score = std::get<double>(root.attr("score"));
+  const Group& model = root.group("model");
+  std::istringstream order(std::get<std::string>(root.attr("tensor_order")));
+  std::string name;
+  while (std::getline(order, name)) {
+    if (name.empty()) continue;
+    ckpt.tensors.push_back({name, model.dataset(name)});
+  }
+  return ckpt;
+}
+
+}  // namespace swt::swh5

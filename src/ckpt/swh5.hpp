@@ -1,0 +1,95 @@
+// SWH5 — a small hierarchical container format (HDF5 stand-in).
+//
+// The paper stores candidate checkpoints "in a normal HDF5 format"
+// (Section VI); Keras lays a model out as one HDF5 group per layer with one
+// dataset per weight tensor plus attributes for metadata.  SWH5 mirrors that
+// object model — groups, float datasets and scalar/string attributes,
+// addressable by slash-separated paths — over our wire codec with a CRC-32
+// trailer.
+//
+//   swh5::Group root;
+//   auto& layer = root.create_group("model/t0/l3");
+//   layer.create_dataset("W", tensor);
+//   root.set_attr("arch", "[1, 2, 0, 2]");
+//   swh5::save("ckpt.swh5", root);
+//
+// Conversions to/from Checkpoint give a second, inspectable on-disk
+// representation of exactly what the transfer engine consumes.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "tensor/tensor.hpp"
+
+namespace swt::swh5 {
+
+using Attribute = std::variant<std::int64_t, double, std::string>;
+
+class Group {
+ public:
+  // -- structure -----------------------------------------------------------
+
+  /// Create (or return the existing) child group; `path` may contain
+  /// slashes, creating intermediate groups ("model/t0/l3").
+  Group& create_group(const std::string& path);
+
+  /// Store a float tensor dataset under `name` (no slashes) in this group.
+  void create_dataset(const std::string& name, Tensor value);
+
+  void set_attr(const std::string& name, Attribute value);
+
+  // -- lookup ---------------------------------------------------------------
+
+  [[nodiscard]] bool has_group(const std::string& path) const;
+  [[nodiscard]] bool has_dataset(const std::string& path) const;
+  [[nodiscard]] bool has_attr(const std::string& name) const;
+
+  /// Throws std::out_of_range when the path does not exist.
+  [[nodiscard]] const Group& group(const std::string& path) const;
+  [[nodiscard]] Group& group(const std::string& path);
+  [[nodiscard]] const Tensor& dataset(const std::string& path) const;
+  [[nodiscard]] const Attribute& attr(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Group>& groups() const noexcept {
+    return groups_;
+  }
+  [[nodiscard]] const std::map<std::string, Tensor>& datasets() const noexcept {
+    return datasets_;
+  }
+  [[nodiscard]] const std::map<std::string, Attribute>& attrs() const noexcept {
+    return attrs_;
+  }
+
+  /// Recursive dataset count / payload bytes (like `h5ls -r | wc -l`).
+  [[nodiscard]] std::size_t total_datasets() const noexcept;
+  [[nodiscard]] std::size_t total_payload_bytes() const noexcept;
+
+  friend bool operator==(const Group&, const Group&) = default;
+
+ private:
+  std::map<std::string, Group> groups_;
+  std::map<std::string, Tensor> datasets_;
+  std::map<std::string, Attribute> attrs_;
+};
+
+/// Binary encoding with magic/version header and CRC-32 trailer; throws
+/// std::runtime_error on any structural or integrity violation.
+[[nodiscard]] std::vector<std::byte> serialize(const Group& root);
+[[nodiscard]] Group deserialize(const std::vector<std::byte>& bytes);
+
+void save(const std::filesystem::path& path, const Group& root);
+[[nodiscard]] Group load(const std::filesystem::path& path);
+
+/// Checkpoint <-> SWH5: one group per layer (parameter-name prefix), one
+/// dataset per tensor, `arch` / `score` as root attributes — the Keras-like
+/// layout the paper's evaluators write.
+[[nodiscard]] Group from_checkpoint(const Checkpoint& ckpt);
+[[nodiscard]] Checkpoint to_checkpoint(const Group& root);
+
+}  // namespace swt::swh5

@@ -1,0 +1,72 @@
+#include "cluster/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+
+namespace swt {
+
+Evaluator::Evaluator(const SearchSpace& space, const DatasetPair& data,
+                     CheckpointStore& store, Config cfg)
+    : space_(&space), data_(&data), store_(&store), cfg_(cfg) {
+  if (cfg_.train_subset_fraction <= 0.0 || cfg_.train_subset_fraction > 1.0)
+    throw std::invalid_argument("Evaluator: train_subset_fraction must be in (0, 1]");
+  if (cfg_.train_subset_fraction < 1.0) {
+    // A fixed, seed-deterministic subset shared by every candidate, so that
+    // estimation scores stay comparable across the whole search.
+    const std::int64_t n = data_->train.size();
+    const auto keep = std::max<std::int64_t>(
+        8, static_cast<std::int64_t>(static_cast<double>(n) * cfg_.train_subset_fraction));
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+    Rng rng(mix64(cfg_.seed, 0x5B5E7));
+    shuffle(idx, rng);
+    idx.resize(static_cast<std::size_t>(std::min(keep, n)));
+    train_subset_ = data_->train.subset(idx);
+    use_subset_ = true;
+  }
+}
+
+EvalRecord Evaluator::evaluate(long id, const Proposal& proposal) {
+  EvalRecord rec;
+  rec.id = id;
+  rec.arch = proposal.arch;
+  rec.parent_id = proposal.parent_id;
+
+  // Per-evaluation RNG: a pure function of (seed, id, arch) so that results
+  // do not depend on worker interleaving.
+  Rng rng(mix64(cfg_.seed, mix64(static_cast<std::uint64_t>(id), arch_hash(proposal.arch))));
+
+  NetworkPtr net = space_->build(proposal.arch);
+  net->init(rng);
+  rec.param_count = net->param_count();
+
+  // Weight transfer from the parent checkpoint, when we have a provider.
+  if (cfg_.mode != TransferMode::kNone && proposal.parent_arch.has_value() &&
+      !proposal.parent_ckpt_key.empty() && store_->contains(proposal.parent_ckpt_key)) {
+    auto [parent_ckpt, read_stats] = store_->get(proposal.parent_ckpt_key);
+    rec.ckpt_read_cost = read_stats.cost_seconds;
+    const TransferStats ts = apply_transfer(parent_ckpt, *net, cfg_.mode);
+    rec.tensors_transferred = ts.tensors_transferred;
+    rec.values_transferred = ts.values_transferred;
+    rec.transfer_seconds = ts.match_seconds + ts.copy_seconds;
+  }
+
+  WallTimer train_timer;
+  const Dataset& train_split = use_subset_ ? train_subset_ : data_->train;
+  const TrainResult tr = Trainer::fit(*net, train_split, data_->val, cfg_.train, rng);
+  rec.train_seconds = train_timer.seconds();
+  rec.score = tr.final_objective;
+
+  if (cfg_.write_checkpoints) {
+    rec.ckpt_key = "ckpt-" + std::to_string(id);
+    const Checkpoint ckpt = Checkpoint::from_network(*net, proposal.arch, rec.score);
+    const IoStats ws = store_->put(rec.ckpt_key, ckpt);
+    rec.ckpt_write_cost = ws.cost_seconds;
+    rec.ckpt_bytes = ws.bytes;
+  }
+  return rec;
+}
+
+}  // namespace swt

@@ -1,0 +1,86 @@
+// Candidate evaluator (one simulated GPU worker's job, Section VI).
+//
+// For each proposal the evaluator: builds the candidate network, randomly
+// initialises it, optionally reads the parent checkpoint and applies LP/LCS
+// weight transfer, trains for the estimation budget (one epoch by default),
+// scores it on the validation split and checkpoints the result.  Everything
+// random is derived from (seed, evaluation id), so a trace is reproducible
+// regardless of how evaluations interleave on the virtual cluster.
+#pragma once
+
+#include <string>
+
+#include "ckpt/store.hpp"
+#include "core/transfer.hpp"
+#include "data/dataset.hpp"
+#include "nas/strategy.hpp"
+#include "nn/trainer.hpp"
+
+namespace swt {
+
+/// Everything recorded about one candidate evaluation (one trace row).
+struct EvalRecord {
+  long id = -1;
+  ArchSeq arch;
+  double score = 0.0;
+  long parent_id = -1;
+  std::string ckpt_key;
+
+  std::int64_t param_count = 0;
+  std::size_t tensors_transferred = 0;
+  std::size_t values_transferred = 0;
+
+  double train_seconds = 0.0;      ///< measured wall time of training
+  double transfer_seconds = 0.0;   ///< measured LP/LCS + copy time
+  double ckpt_read_cost = 0.0;     ///< modelled PFS read seconds
+  double ckpt_write_cost = 0.0;    ///< modelled PFS write seconds (full drain)
+  std::size_t ckpt_bytes = 0;
+
+  // Filled by the virtual cluster's checkpointing model:
+  double ckpt_write_charged = 0.0;  ///< write time charged to the worker
+  double ckpt_read_wait = 0.0;      ///< stall waiting for an async drain
+  double ckpt_available_at = 0.0;   ///< virtual time the checkpoint is readable
+
+  // Filled by the virtual cluster:
+  double virtual_start = 0.0;
+  double virtual_finish = 0.0;
+  int worker = -1;
+};
+
+class Evaluator {
+ public:
+  struct Config {
+    TransferMode mode = TransferMode::kNone;
+    TrainOptions train;          ///< estimation budget (epochs=1 by default)
+    std::uint64_t seed = 1;
+    /// Baseline evaluators do not checkpoint; transfer modes must, because
+    /// every scored candidate is a potential provider.
+    bool write_checkpoints = true;
+    /// Candidate estimation on a fixed random subset of the training data
+    /// (Section II lists dataset-subset estimation as an alternative to
+    /// few-epoch estimation; the paper argues weight transfer applies to
+    /// such estimators too).  1.0 = the full training split.
+    double train_subset_fraction = 1.0;
+  };
+
+  /// `space`, `data` and `store` must outlive the evaluator.
+  Evaluator(const SearchSpace& space, const DatasetPair& data, CheckpointStore& store,
+            Config cfg);
+
+  /// Evaluate one proposal; `id` is the global evaluation id.
+  [[nodiscard]] EvalRecord evaluate(long id, const Proposal& proposal);
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  const SearchSpace* space_;
+  const DatasetPair* data_;
+  CheckpointStore* store_;
+  Config cfg_;
+  /// Materialised estimation subset (same for every candidate, like a fixed
+  /// proxy dataset); empty when the full split is used.
+  Dataset train_subset_;
+  bool use_subset_ = false;
+};
+
+}  // namespace swt

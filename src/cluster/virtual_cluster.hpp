@@ -1,0 +1,56 @@
+// Discrete-event cluster simulation.
+//
+// The paper runs DeepHyper with Ray evaluators on up to 32 GPUs; candidate
+// scores come from real training, but the *scheduling* (async completion,
+// scalability, checkpoint overhead share) is what Figs. 7 and 10 measure.
+// The host here has a single CPU core, so instead of oversubscribed threads
+// we simulate N workers with a virtual clock: every evaluation is executed
+// for real (serially) and its measured training time plus its modelled
+// checkpoint I/O time advances the clock of the worker it is assigned to.
+// The strategy sees results in virtual-completion order, exactly as an
+// asynchronous scheduler would.
+#pragma once
+
+#include <vector>
+
+#include "cluster/evaluator.hpp"
+
+namespace swt {
+
+struct ClusterConfig {
+  int num_workers = 8;
+  /// Scale factor applied to measured training seconds before they are
+  /// charged to the virtual clock (1.0 = measured time).
+  double time_scale = 1.0;
+  /// When >= 0, replaces measured training time with this constant, making
+  /// traces bit-reproducible (used by tests; experiments use measured time).
+  double fixed_train_seconds = -1.0;
+  /// VELOC/DeepFreeze-style asynchronous checkpointing (the paper's stated
+  /// future work): the worker is charged only a small enqueue latency for
+  /// writes; the full PFS write drains in the background, and a child that
+  /// reads a parent checkpoint before its drain completes stalls until it
+  /// is available.
+  bool async_checkpointing = false;
+  double async_enqueue_latency_s = 0.002;
+  /// Continuation origins for resumed searches: evaluation ids start at
+  /// `first_eval_id` and the virtual clock at `clock_origin`.
+  long first_eval_id = 0;
+  double clock_origin = 0.0;
+};
+
+struct Trace {
+  std::vector<EvalRecord> records;  ///< in virtual completion order
+  double makespan = 0.0;            ///< virtual finish time of the last record
+  int num_workers = 0;
+
+  [[nodiscard]] double total_ckpt_overhead() const noexcept;
+  [[nodiscard]] double total_train_time() const noexcept;
+};
+
+/// Run `n_evals` candidate evaluations of `strategy` on a simulated cluster.
+/// `rng` drives the strategy's proposals only; per-candidate randomness is
+/// derived inside the evaluator from (seed, id).
+[[nodiscard]] Trace run_search(Evaluator& evaluator, SearchStrategy& strategy,
+                               long n_evals, const ClusterConfig& cfg, Rng& rng);
+
+}  // namespace swt

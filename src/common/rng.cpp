@@ -1,0 +1,10 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace swt {
+
+double Rng::fast_sqrt(double x) noexcept { return std::sqrt(x); }
+double Rng::fast_log(double x) noexcept { return std::log(x); }
+
+}  // namespace swt

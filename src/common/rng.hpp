@@ -1,0 +1,157 @@
+// Deterministic pseudo-random number generation for swtnas.
+//
+// Everything in this project that consumes randomness takes an explicit `Rng`
+// so that experiments are reproducible: a NAS run is fully determined by its
+// seed regardless of (virtual) scheduling order.  The generator is
+// xoshiro256** seeded via splitmix64, which is fast, has a 256-bit state and
+// passes BigCrush; std::mt19937 is deliberately avoided because its
+// distributions are not portable across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace swt {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of two values; used to derive per-task seeds
+/// (e.g. seed ^ architecture hash) so results do not depend on scheduling.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (0x9e3779b97f4a7c15ULL + b + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// FNV-1a hash of a byte string; used for hashing architecture sequences.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+    has_gauss_ = false;
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  [[nodiscard]] double gaussian() noexcept {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = fast_sqrt(-2.0 * fast_log(s) / s);
+    cached_gauss_ = v * f;
+    has_gauss_ = true;
+    return u * f;
+  }
+
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-task streams).
+  [[nodiscard]] Rng split() noexcept { return Rng(mix64((*this)(), (*this)())); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Thin wrappers so <cmath> is not needed in this header's interface.
+  static double fast_sqrt(double x) noexcept;
+  static double fast_log(double x) noexcept;
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gauss_ = 0.0;
+  bool has_gauss_ = false;
+};
+
+/// Fisher-Yates shuffle of an indexable container.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  using std::swap;
+  for (std::size_t i = c.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace swt

@@ -1,0 +1,57 @@
+// Descriptive statistics used across the experiment harness:
+// mean / stddev / 95% confidence intervals (Fig. 7, Table III),
+// geometric mean (Fig. 8 speedups) and Kendall's tau rank correlation
+// (Fig. 9 candidate-estimation quality).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swt {
+
+/// Streaming accumulator (Welford) for mean / variance of a sample.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Half-width of the 95% confidence interval of the mean (normal approx).
+  [[nodiscard]] double ci95_half_width() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+/// Geometric mean; all inputs must be > 0.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+[[nodiscard]] double median(std::vector<double> xs);
+
+/// Kendall's tau-a rank correlation between two equally sized samples.
+///
+/// tau = 2 (Nc - Nd) / (n (n - 1)) where Nc / Nd count concordant /
+/// discordant pairs; ties contribute to neither, matching the paper's
+/// definition in Section VIII-D.  Requires xs.size() == ys.size() >= 2.
+[[nodiscard]] double kendall_tau(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson linear correlation; used in tests as a sanity cross-check.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// "0.823 +- 0.016" style formatting used by the table reproductions.
+[[nodiscard]] std::string format_mean_pm(double m, double sd, int precision = 3);
+
+}  // namespace swt

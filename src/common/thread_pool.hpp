@@ -1,0 +1,59 @@
+// Minimal work-stealing-free thread pool and a blocking parallel_for.
+//
+// The virtual cluster (src/cluster) simulates parallelism with a discrete
+// event loop because candidate *scores* must be computed by real training on
+// whatever cores exist; this pool is the real-concurrency substrate used for
+// data-parallel inner loops (e.g. batched tensor ops, pair-sampling studies)
+// when more than one hardware thread is available.  With one core it degrades
+// gracefully to serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swt {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait_idle();
+
+  /// Process-wide pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n), partitioned into contiguous blocks across the
+/// pool.  Blocks until all iterations complete.  Exceptions thrown by fn
+/// terminate the process (tasks are noexcept boundaries by design).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace swt

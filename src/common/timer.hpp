@@ -1,0 +1,25 @@
+// Wall-clock timer used to measure real training time, which is then fed
+// into the virtual cluster's event clock.
+#pragma once
+
+#include <chrono>
+
+namespace swt {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace swt

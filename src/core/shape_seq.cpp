@@ -1,0 +1,127 @@
+#include "core/shape_seq.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace swt {
+
+ShapeSeq shape_sequence(Network& net) {
+  ShapeSeq seq;
+  for (const auto& p : net.params()) seq.push_back(p.value->shape());
+  return seq;
+}
+
+ShapeSeq shape_sequence(const Checkpoint& ckpt) {
+  ShapeSeq seq;
+  seq.reserve(ckpt.tensors.size());
+  for (const auto& t : ckpt.tensors) seq.push_back(t.value.shape());
+  return seq;
+}
+
+namespace {
+
+std::string layer_prefix(const std::string& name) {
+  const auto pos = name.rfind('/');
+  return pos == std::string::npos ? name : name.substr(0, pos);
+}
+
+}  // namespace
+
+LayerGrouping group_layers(std::span<const std::string> names,
+                           std::span<const Shape> shapes) {
+  LayerGrouping g;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string prefix = layer_prefix(names[i]);
+    if (g.prefixes.empty() || g.prefixes.back() != prefix) {
+      g.prefixes.push_back(prefix);
+      g.members.emplace_back();
+      g.signatures.emplace_back();
+    }
+    g.members.back().push_back(i);
+    g.signatures.back().push_back(shapes[i]);
+  }
+  return g;
+}
+
+LayerGrouping group_layers(Network& net) {
+  std::vector<std::string> names;
+  std::vector<Shape> shapes;
+  for (const auto& p : net.params()) {
+    names.push_back(p.name);
+    shapes.push_back(p.value->shape());
+  }
+  return group_layers(names, shapes);
+}
+
+LayerGrouping group_layers(const Checkpoint& ckpt) {
+  std::vector<std::string> names;
+  std::vector<Shape> shapes;
+  for (const auto& t : ckpt.tensors) {
+    names.push_back(t.name);
+    shapes.push_back(t.value.shape());
+  }
+  return group_layers(names, shapes);
+}
+
+SigSeq signature_sequence(Network& net) { return group_layers(net).signatures; }
+
+SigSeq signature_sequence(const Checkpoint& ckpt) { return group_layers(ckpt).signatures; }
+
+std::uint64_t hash_signature(const LayerSig& sig) noexcept {
+  std::uint64_t h = 0x7b9d3f42c1e58a6dULL;
+  for (const Shape& s : sig) h = mix64(h, hash_shape(s));
+  return mix64(h, sig.size());
+}
+
+bool share_any_signature(const SigSeq& a, const SigSeq& b) {
+  std::unordered_set<std::uint64_t> hashes;
+  hashes.reserve(a.size());
+  for (const auto& sig : a) hashes.insert(hash_signature(sig));
+  for (const auto& sig : b) {
+    if (!hashes.contains(hash_signature(sig))) continue;
+    for (const auto& sa : a)
+      if (sa == sig) return true;  // confirm (hash collisions)
+  }
+  return false;
+}
+
+bool share_any_shape(const ShapeSeq& a, const ShapeSeq& b) {
+  std::unordered_set<std::uint64_t> hashes;
+  hashes.reserve(a.size());
+  for (const auto& s : a) hashes.insert(hash_shape(s));
+  for (const auto& s : b) {
+    if (!hashes.contains(hash_shape(s))) continue;
+    for (const auto& sa : a)
+      if (sa == s) return true;
+  }
+  return false;
+}
+
+std::string to_string(const ShapeSeq& seq) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i) os << ", ";
+    os << seq[i].to_string();
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string to_string(const SigSeq& seq) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i) os << ", ";
+    os << '{';
+    for (std::size_t j = 0; j < seq[i].size(); ++j) {
+      if (j) os << ' ';
+      os << seq[i][j].to_string();
+    }
+    os << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace swt

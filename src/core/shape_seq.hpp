@@ -1,0 +1,70 @@
+// Shape sequences (Section IV-A).
+//
+// The paper casts tensor matching as string matching over "shape sequences":
+// Fig. 3 depicts the sequence of *layer* tensor shapes, e.g.
+// [(f, w, h), ..., (m, n)] — one token per parameterised layer, biases and
+// batch-norm statistics travelling with their layer.  We therefore expose
+// two granularities:
+//
+//   ShapeSeq — one token per parameter tensor (used by the matcher tests
+//              and anywhere raw tensors are compared), and
+//   SigSeq   — one token per layer, where a token (LayerSig) is the ordered
+//              list of that layer's parameter shapes.  This is the paper's
+//              matching granularity: two layers are transferable iff ALL
+//              their parameter shapes agree, and matching a layer transfers
+//              every one of its tensors (kernel + bias, BN's four, ...).
+//
+// Layers are recovered from parameter names: "t0/l3/W" and "t0/l3/b" share
+// the layer prefix "t0/l3".
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "nn/network.hpp"
+#include "tensor/shape.hpp"
+
+namespace swt {
+
+using ShapeSeq = std::vector<Shape>;
+
+/// One layer's parameter shapes, in declaration order.
+using LayerSig = std::vector<Shape>;
+using SigSeq = std::vector<LayerSig>;
+
+/// Tensor-level sequence (every persisted parameter tensor, in order).
+[[nodiscard]] ShapeSeq shape_sequence(Network& net);
+[[nodiscard]] ShapeSeq shape_sequence(const Checkpoint& ckpt);
+
+/// Layer grouping of a flat parameter list: which tensor indices belong to
+/// which layer, and each layer's signature.
+struct LayerGrouping {
+  std::vector<std::string> prefixes;              ///< e.g. "t0/l3"
+  std::vector<std::vector<std::size_t>> members;  ///< tensor indices per layer
+  SigSeq signatures;
+};
+
+[[nodiscard]] LayerGrouping group_layers(std::span<const std::string> names,
+                                         std::span<const Shape> shapes);
+[[nodiscard]] LayerGrouping group_layers(Network& net);
+[[nodiscard]] LayerGrouping group_layers(const Checkpoint& ckpt);
+
+/// Layer-level sequence (the paper's shape sequence).
+[[nodiscard]] SigSeq signature_sequence(Network& net);
+[[nodiscard]] SigSeq signature_sequence(const Checkpoint& ckpt);
+
+/// Fig. 2's "shareable" predicate at the paper's granularity: do the models
+/// have at least one layer with an identical signature (order-insensitive)?
+[[nodiscard]] bool share_any_signature(const SigSeq& a, const SigSeq& b);
+
+/// Tensor-level variant kept for diagnostics.
+[[nodiscard]] bool share_any_shape(const ShapeSeq& a, const ShapeSeq& b);
+
+[[nodiscard]] std::string to_string(const ShapeSeq& seq);
+[[nodiscard]] std::string to_string(const SigSeq& seq);
+
+[[nodiscard]] std::uint64_t hash_signature(const LayerSig& sig) noexcept;
+
+}  // namespace swt

@@ -1,0 +1,47 @@
+#include "core/transfer.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace swt {
+
+TransferStats apply_transfer(const Checkpoint& provider, Network& receiver,
+                             TransferMode mode) {
+  TransferStats stats;
+  auto receiver_params = receiver.params();
+  if (mode == TransferMode::kNone) return stats;
+
+  WallTimer match_timer;
+  const LayerGrouping provider_layers = group_layers(provider);
+  const LayerGrouping receiver_layers = group_layers(receiver);
+  stats.provider_layers = provider_layers.signatures.size();
+  stats.receiver_layers = receiver_layers.signatures.size();
+  const MatchPairs pairs =
+      match(mode, provider_layers.signatures, receiver_layers.signatures);
+  stats.match_seconds = match_timer.seconds();
+  stats.layers_matched = pairs.size();
+
+  WallTimer copy_timer;
+  for (const auto& [pi, ri] : pairs) {
+    const auto& src_members = provider_layers.members[pi];
+    const auto& dst_members = receiver_layers.members[ri];
+    // Matched signatures are identical, so member counts and shapes agree.
+    for (std::size_t k = 0; k < src_members.size(); ++k) {
+      const Tensor& src = provider.tensors[src_members[k]].value;
+      Tensor& dst = *receiver_params[dst_members[k]].value;
+      std::copy(src.values().begin(), src.values().end(), dst.values().begin());
+      ++stats.tensors_transferred;
+      stats.values_transferred += static_cast<std::size_t>(src.numel());
+    }
+  }
+  stats.copy_seconds = copy_timer.seconds();
+  return stats;
+}
+
+std::size_t transferable_layers(const SigSeq& provider, const SigSeq& receiver,
+                                TransferMode mode) {
+  return match(mode, provider, receiver).size();
+}
+
+}  // namespace swt

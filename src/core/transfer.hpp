@@ -1,0 +1,40 @@
+// Applying weight transfer (Section IV / Section VI step 4).
+//
+// Given a provider checkpoint and a freshly *initialised* receiver network,
+// LP/LCS are computed over the two layer-signature sequences and every
+// tensor of each matched layer is copied from provider to receiver;
+// unmatched receiver layers keep their random initialisation.  This mirrors
+// the evaluator pipeline in the paper: build child, read parent checkpoint,
+// compute LP/LCS, initialise shared tensors from the parent.
+#pragma once
+
+#include "ckpt/checkpoint.hpp"
+#include "core/match.hpp"
+#include "nn/network.hpp"
+
+namespace swt {
+
+struct TransferStats {
+  std::size_t provider_layers = 0;
+  std::size_t receiver_layers = 0;
+  std::size_t layers_matched = 0;
+  std::size_t tensors_transferred = 0;
+  std::size_t values_transferred = 0;  ///< total float elements copied
+  double match_seconds = 0.0;          ///< LP/LCS computation wall time
+  double copy_seconds = 0.0;           ///< weight copy wall time
+
+  [[nodiscard]] bool any() const noexcept { return tensors_transferred > 0; }
+};
+
+/// Transfer provider weights into `receiver` under `mode`; returns what was
+/// matched and how long the mechanism itself took (the paper reports this
+/// overhead as <150 ms per training run at their scale).
+TransferStats apply_transfer(const Checkpoint& provider, Network& receiver,
+                             TransferMode mode);
+
+/// Match-only variant used by the pair studies (Figs. 2, 4, 5): how many
+/// layers WOULD transfer between two signature sequences under `mode`.
+[[nodiscard]] std::size_t transferable_layers(const SigSeq& provider,
+                                              const SigSeq& receiver, TransferMode mode);
+
+}  // namespace swt

@@ -1,0 +1,51 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace swt {
+
+Dataset Dataset::subset(std::span<const std::int64_t> idx) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.x.reserve(x.size());
+  for (const auto& src : x) out.x.push_back(gather_rows(src, idx));
+  if (!labels.empty()) {
+    out.labels.reserve(idx.size());
+    for (std::int64_t i : idx) out.labels.push_back(labels[static_cast<std::size_t>(i)]);
+  }
+  if (!y.empty()) out.y = gather_rows(y, idx);
+  return out;
+}
+
+void Dataset::check() const {
+  if (x.empty()) throw std::logic_error("Dataset: no input sources");
+  const std::int64_t n = x.front().shape()[0];
+  for (const auto& src : x)
+    if (src.shape()[0] != n) throw std::logic_error("Dataset: source batch-size mismatch");
+  if (!labels.empty() && static_cast<std::int64_t>(labels.size()) != n)
+    throw std::logic_error("Dataset: label count mismatch");
+  if (!y.empty() && y.shape()[0] != n)
+    throw std::logic_error("Dataset: target count mismatch");
+  if (labels.empty() == y.empty())
+    throw std::logic_error("Dataset: exactly one of labels / y must be set");
+}
+
+BatchIterator::BatchIterator(std::int64_t n, std::int64_t batch_size, Rng& rng)
+    : order_(static_cast<std::size_t>(n)), batch_size_(batch_size) {
+  if (batch_size <= 0) throw std::invalid_argument("BatchIterator: non-positive batch size");
+  std::iota(order_.begin(), order_.end(), 0);
+  shuffle(order_, rng);
+}
+
+bool BatchIterator::next(std::vector<std::int64_t>& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t hi =
+      std::min(order_.size(), cursor_ + static_cast<std::size_t>(batch_size_));
+  out.assign(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+             order_.begin() + static_cast<std::ptrdiff_t>(hi));
+  cursor_ = hi;
+  return true;
+}
+
+}  // namespace swt

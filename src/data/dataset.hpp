@@ -1,0 +1,58 @@
+// In-memory supervised dataset with one or more input sources.
+//
+// Classification datasets carry integer labels; regression datasets carry a
+// (N, 1) target tensor.  Multiple input sources exist for Uno-style models
+// where each source feeds a different tower.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace swt {
+
+struct Dataset {
+  std::vector<Tensor> x;      ///< per-source inputs, dim 0 = sample index
+  std::vector<int> labels;    ///< classification labels (empty for regression)
+  Tensor y;                   ///< regression targets (N, 1); empty otherwise
+  int num_classes = 0;
+
+  [[nodiscard]] std::int64_t size() const { return x.front().shape()[0]; }
+  [[nodiscard]] bool regression() const noexcept { return labels.empty(); }
+  [[nodiscard]] std::size_t num_sources() const noexcept { return x.size(); }
+
+  /// Per-source sample shape (without the batch axis).
+  [[nodiscard]] Shape sample_shape(std::size_t source = 0) const {
+    return x[source].shape().drop_front();
+  }
+
+  /// Gather the given sample indices into a new dataset (mini-batch).
+  [[nodiscard]] Dataset subset(std::span<const std::int64_t> idx) const;
+
+  /// Validate internal consistency (same N everywhere); throws on violation.
+  void check() const;
+};
+
+struct DatasetPair {
+  Dataset train;
+  Dataset val;
+};
+
+/// Yields shuffled mini-batch index sets covering [0, n) once per epoch.
+class BatchIterator {
+ public:
+  BatchIterator(std::int64_t n, std::int64_t batch_size, Rng& rng);
+
+  /// Fills `out` with the next batch's indices; false at epoch end.
+  bool next(std::vector<std::int64_t>& out);
+
+ private:
+  std::vector<std::int64_t> order_;
+  std::int64_t batch_size_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace swt

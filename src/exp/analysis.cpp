@@ -1,0 +1,99 @@
+#include "exp/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stats.hpp"
+
+namespace swt {
+
+std::map<long, int> lineage_depths(const Trace& trace) {
+  std::map<long, int> depth;
+  // Records are in completion order, so a parent is always processed before
+  // any child that transferred from it.
+  for (const auto& r : trace.records) {
+    int d = 1;
+    if (r.tensors_transferred > 0 && r.parent_id >= 0) {
+      const auto it = depth.find(r.parent_id);
+      if (it != depth.end()) d = it->second + 1;
+    }
+    depth[r.id] = d;
+  }
+  return depth;
+}
+
+LineageSummary summarize_lineage(const Trace& trace) {
+  LineageSummary s;
+  if (trace.records.empty()) return s;
+  const auto depth = lineage_depths(trace);
+  double sum = 0.0;
+  int transferred = 0;
+  for (const auto& r : trace.records) {
+    const int d = depth.at(r.id);
+    sum += d;
+    s.max_depth = std::max(s.max_depth, d);
+    transferred += r.tensors_transferred > 0;
+  }
+  s.mean_depth = sum / static_cast<double>(trace.records.size());
+  s.transfer_fraction =
+      static_cast<double>(transferred) / static_cast<double>(trace.records.size());
+  return s;
+}
+
+ParentChildStats parent_child_stats(const Trace& trace) {
+  ParentChildStats s;
+  std::map<long, double> score_by_id;
+  for (const auto& r : trace.records) score_by_id[r.id] = r.score;
+  double delta_sum = 0.0;
+  for (const auto& r : trace.records) {
+    if (r.tensors_transferred == 0 || r.parent_id < 0) continue;
+    const auto it = score_by_id.find(r.parent_id);
+    if (it == score_by_id.end()) continue;
+    ++s.pairs;
+    const double delta = r.score - it->second;
+    delta_sum += delta;
+    if (delta > 0) ++s.child_improved;
+  }
+  if (s.pairs > 0) s.mean_delta = delta_sum / s.pairs;
+  return s;
+}
+
+std::vector<ParetoPoint> pareto_front(const Trace& trace) {
+  // Deduplicate by architecture, keeping each architecture's best score.
+  std::map<std::uint64_t, ParetoPoint> best;
+  for (const auto& r : trace.records) {
+    const std::uint64_t h = arch_hash(r.arch);
+    const auto it = best.find(h);
+    if (it == best.end() || r.score > it->second.score)
+      best[h] = ParetoPoint{r.id, r.arch, r.score, r.param_count};
+  }
+  std::vector<ParetoPoint> points;
+  points.reserve(best.size());
+  for (auto& [h, p] : best) points.push_back(std::move(p));
+  // Sort by params ascending, score descending; then a single sweep keeps
+  // points whose score strictly improves on everything smaller.
+  std::sort(points.begin(), points.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.param_count != b.param_count) return a.param_count < b.param_count;
+    return a.score > b.score;
+  });
+  std::vector<ParetoPoint> front;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (auto& p : points) {
+    if (p.score > best_score) {
+      best_score = p.score;
+      front.push_back(std::move(p));
+    }
+  }
+  return front;
+}
+
+std::map<int, double> mean_score_by_depth(const Trace& trace) {
+  const auto depth = lineage_depths(trace);
+  std::map<int, RunningStats> buckets;
+  for (const auto& r : trace.records) buckets[depth.at(r.id)].add(r.score);
+  std::map<int, double> out;
+  for (const auto& [d, stats] : buckets) out[d] = stats.mean();
+  return out;
+}
+
+}  // namespace swt

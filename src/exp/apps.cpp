@@ -1,0 +1,108 @@
+#include "exp/apps.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swt {
+
+const char* to_string(AppId id) noexcept {
+  switch (id) {
+    case AppId::kCifar: return "CIFAR-10";
+    case AppId::kMnist: return "MNIST";
+    case AppId::kNt3: return "NT3";
+    case AppId::kUno: return "Uno";
+  }
+  return "?";
+}
+
+std::vector<AppId> all_apps() {
+  return {AppId::kCifar, AppId::kMnist, AppId::kNt3, AppId::kUno};
+}
+
+TrainOptions AppConfig::estimation_options() const {
+  TrainOptions opts;
+  opts.epochs = estimation_epochs;
+  opts.batch_size = batch_size;
+  opts.objective = objective;
+  return opts;
+}
+
+TrainOptions AppConfig::full_train_options(bool early_stop) const {
+  TrainOptions opts;
+  opts.epochs = full_train_max_epochs;
+  opts.batch_size = batch_size;
+  opts.objective = objective;
+  if (early_stop) {
+    opts.early_stop_min_delta = early_stop_min_delta;
+    opts.early_stop_patience = early_stop_patience;
+  }
+  return opts;
+}
+
+namespace {
+std::int64_t scaled(std::int64_t n, double f) {
+  return std::max<std::int64_t>(16, static_cast<std::int64_t>(static_cast<double>(n) * f));
+}
+}  // namespace
+
+AppConfig make_app(AppId id, std::uint64_t seed, AppScale scale) {
+  AppConfig app;
+  app.id = id;
+  app.name = to_string(id);
+  const double f = scale.data_scale;
+  switch (id) {
+    case AppId::kCifar:
+      app.space = make_cifar_space(8);
+      app.data = make_cifar_like({.n_train = scaled(256, f), .n_val = scaled(96, f),
+                                  .seed = seed});
+      app.objective = ObjectiveKind::kAccuracy;
+      app.batch_size = 16;  // paper: 64; scaled with the dataset (see DESIGN.md)
+      app.early_stop_min_delta = 0.01;
+      // The paper trains 20 epochs max; our scaled CIFAR has ~16 optimizer
+      // steps per epoch (vs ~780) and needs proportionally more epochs to
+      // plateau, otherwise early stopping never fires for ANY scheme and
+      // Fig. 8's signal is truncated by the cap.
+      app.full_train_max_epochs = 40;
+      break;
+    case AppId::kMnist:
+      app.space = make_mnist_space(8);
+      app.data = make_mnist_like({.n_train = scaled(256, f), .n_val = scaled(96, f),
+                                  .seed = seed});
+      app.objective = ObjectiveKind::kAccuracy;
+      app.batch_size = 16;  // paper: 64; scaled with the dataset
+      app.early_stop_min_delta = 0.001;
+      break;
+    case AppId::kNt3:
+      app.space = make_nt3_space(384);
+      // NT3's regime is load-bearing: few observations x large dimension.
+      // The long input makes the first dense layer (and so the checkpoint)
+      // big relative to NT3's very short training time, which is what makes
+      // NT3's checkpoint overhead visible in the paper's Fig. 10/11.
+      app.data = make_nt3_like({.n_train = scaled(160, f), .n_val = scaled(48, f),
+                                .seed = seed}, 384);
+      app.objective = ObjectiveKind::kAccuracy;
+      app.batch_size = 8;  // paper: 32; scaled with the dataset
+      app.early_stop_min_delta = 0.005;
+      // GPU calibration: the real NT3 trains disproportionately fast (tiny
+      // dataset => few optimizer steps) despite its big model, which is what
+      // makes its checkpoint overhead visible (Fig. 10/11).  A smaller
+      // virtual-time multiplier models that.
+      app.time_scale = 40.0;
+      break;
+    case AppId::kUno:
+      app.space = make_uno_space(32, 24, 16);
+      app.data = make_uno_like({.n_train = scaled(384, f), .n_val = scaled(128, f),
+                                .seed = seed});
+      app.objective = ObjectiveKind::kR2;
+      app.batch_size = 8;  // paper: 32; scaled with the dataset
+      app.early_stop_min_delta = 0.02;
+      break;
+    default:
+      throw std::invalid_argument("make_app: unknown app");
+  }
+  app.data.train.check();
+  app.data.val.check();
+  return app;
+}
+
+}  // namespace swt

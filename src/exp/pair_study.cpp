@@ -1,0 +1,124 @@
+#include "exp/pair_study.hpp"
+
+namespace swt {
+
+ShareableStudyResult shareable_pairs_study(const SearchSpace& space, int n_pairs,
+                                           std::uint64_t seed) {
+  Rng rng(mix64(seed, 0x5A4E));
+  ShareableStudyResult result;
+  result.pairs = n_pairs;
+  for (int i = 0; i < n_pairs; ++i) {
+    const ArchSeq a = space.random_arch(rng);
+    ArchSeq b = space.random_arch(rng);
+    if (b == a) b = space.mutate(b, rng);  // sample without replacement
+    NetworkPtr net_a = space.build(a);
+    NetworkPtr net_b = space.build(b);
+    if (share_any_signature(signature_sequence(*net_a), signature_sequence(*net_b)))
+      ++result.shareable;
+  }
+  return result;
+}
+
+namespace {
+
+/// Train a fresh receiver for the estimation budget, optionally transferring
+/// from the provider checkpoint first; returns the validation objective.
+double train_receiver(const AppConfig& app, const ArchSeq& arch, const Checkpoint* provider,
+                      TransferMode mode, Rng seed_rng) {
+  // All three inits of the same receiver must see identical randomness, so
+  // the caller passes the same seeded RNG by value.
+  NetworkPtr net = app.space.build(arch);
+  net->init(seed_rng);
+  if (provider != nullptr && mode != TransferMode::kNone)
+    (void)apply_transfer(*provider, *net, mode);
+  return Trainer::fit(*net, app.data.train, app.data.val, app.estimation_options(), seed_rng)
+      .final_objective;
+}
+
+}  // namespace
+
+std::vector<PairOutcome> run_pair_study(const AppConfig& app, const PairStudyConfig& cfg) {
+  Rng rng(mix64(cfg.seed, 0x9A12));
+  std::vector<PairOutcome> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(cfg.n_pairs));
+
+  for (int i = 0; i < cfg.n_pairs; ++i) {
+    const ArchSeq provider_arch = app.space.random_arch(rng);
+    ArchSeq receiver_arch;
+    if (cfg.stratify_by_distance) {
+      // Random walk of `target_d` distinct single-node mutations.  The walk
+      // can revisit a node, so recompute the true Hamming distance below.
+      const int target_d = 1 + static_cast<int>(rng.uniform_index(
+                                   static_cast<std::uint64_t>(cfg.max_d)));
+      receiver_arch = provider_arch;
+      for (int step = 0; step < target_d; ++step)
+        receiver_arch = app.space.mutate(receiver_arch, rng);
+    } else {
+      receiver_arch = app.space.random_arch(rng);
+      if (receiver_arch == provider_arch) receiver_arch = app.space.mutate(receiver_arch, rng);
+    }
+
+    // Provider: one estimation epoch from scratch, then checkpoint —
+    // exactly the state a NAS evaluator would have stored.
+    Rng provider_rng(mix64(cfg.seed, mix64(arch_hash(provider_arch), i)));
+    NetworkPtr provider_net = app.space.build(provider_arch);
+    provider_net->init(provider_rng);
+    (void)Trainer::fit(*provider_net, app.data.train, app.data.val, app.estimation_options(),
+                       provider_rng);
+    const Checkpoint provider_ckpt =
+        Checkpoint::from_network(*provider_net, provider_arch, 0.0);
+
+    PairOutcome outcome;
+    outcome.d = hamming_distance(provider_arch, receiver_arch);
+    {
+      NetworkPtr receiver_net = app.space.build(receiver_arch);
+      const SigSeq provider_seq = signature_sequence(provider_ckpt);
+      const SigSeq receiver_seq = signature_sequence(*receiver_net);
+      outcome.lp_layers = transferable_layers(provider_seq, receiver_seq, TransferMode::kLP);
+      outcome.lcs_layers =
+          transferable_layers(provider_seq, receiver_seq, TransferMode::kLCS);
+    }
+
+    const Rng receiver_rng(mix64(cfg.seed, mix64(arch_hash(receiver_arch), 1000 + i)));
+    outcome.score_random =
+        train_receiver(app, receiver_arch, nullptr, TransferMode::kNone, receiver_rng);
+    outcome.score_lp =
+        train_receiver(app, receiver_arch, &provider_ckpt, TransferMode::kLP, receiver_rng);
+    outcome.score_lcs =
+        train_receiver(app, receiver_arch, &provider_ckpt, TransferMode::kLCS, receiver_rng);
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+TransferScopeSummary summarize(const std::vector<PairOutcome>& outcomes, TransferMode mode) {
+  TransferScopeSummary s;
+  for (const auto& o : outcomes) {
+    ++s.pairs;
+    if (!o.transferable(mode)) continue;
+    ++s.transferable;
+    if (o.positive(mode))
+      ++s.positive;
+    else
+      ++s.negative;
+  }
+  return s;
+}
+
+std::map<int, TransferScopeSummary> summarize_by_distance(
+    const std::vector<PairOutcome>& outcomes, TransferMode mode) {
+  std::map<int, TransferScopeSummary> buckets;
+  for (const auto& o : outcomes) {
+    auto& s = buckets[o.d];
+    ++s.pairs;
+    if (!o.transferable(mode)) continue;
+    ++s.transferable;
+    if (o.positive(mode))
+      ++s.positive;
+    else
+      ++s.negative;
+  }
+  return buckets;
+}
+
+}  // namespace swt

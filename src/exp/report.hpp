@@ -1,0 +1,33 @@
+// Fixed-width table formatting for the bench binaries' paper-style output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swt {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// e.g. report.cell(0.8234, 3) -> "0.823"
+  [[nodiscard]] static std::string cell(double v, int precision = 3);
+  [[nodiscard]] static std::string cell_pct(double v, int precision = 1);
+  [[nodiscard]] static std::string cell_pm(double mean, double sd, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by every bench binary, e.g.
+/// "=== Fig. 8: full-training speedup (paper: LCS 1.5x, LP 1.4x) ===".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace swt

@@ -1,0 +1,142 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace swt {
+
+NasRun run_nas(const AppConfig& app, const NasRunConfig& cfg) {
+  NasRun run;
+  run.mode = cfg.mode;
+  run.store = std::make_unique<CheckpointStore>(CheckpointStore::Backend::kMemory,
+                                                std::filesystem::path{}, PfsCostModel{},
+                                                cfg.compression);
+
+  Evaluator::Config eval_cfg;
+  eval_cfg.mode = cfg.mode;
+  eval_cfg.train = app.estimation_options();
+  if (cfg.estimation_epochs > 0) eval_cfg.train.epochs = cfg.estimation_epochs;
+  eval_cfg.train_subset_fraction = cfg.train_subset_fraction;
+  eval_cfg.seed = cfg.seed;
+  // Only transfer schemes checkpoint candidates: the plain DeepHyper
+  // baseline neither writes nor reads checkpoints (Section VI), which is
+  // exactly the overhead difference Fig. 10 measures.
+  eval_cfg.write_checkpoints = cfg.mode != TransferMode::kNone;
+  Evaluator evaluator(app.space, app.data, *run.store, eval_cfg);
+
+  RegularizedEvolution strategy(app.space, cfg.evolution);
+  Rng rng(mix64(cfg.seed, 0x5EA6C4));
+  ClusterConfig cluster = cfg.cluster;
+  cluster.time_scale = cfg.time_scale > 0.0 ? cfg.time_scale : app.time_scale;
+  run.trace = run_search(evaluator, strategy, cfg.n_evals, cluster, rng);
+  return run;
+}
+
+NasRun resume_nas(const AppConfig& app, const NasRunConfig& cfg, NasRun previous,
+                  long additional_evals) {
+  NasRun run;
+  run.mode = cfg.mode;
+  run.store = std::move(previous.store);
+
+  Evaluator::Config eval_cfg;
+  eval_cfg.mode = cfg.mode;
+  eval_cfg.train = app.estimation_options();
+  if (cfg.estimation_epochs > 0) eval_cfg.train.epochs = cfg.estimation_epochs;
+  eval_cfg.train_subset_fraction = cfg.train_subset_fraction;
+  eval_cfg.seed = cfg.seed;
+  eval_cfg.write_checkpoints = cfg.mode != TransferMode::kNone;
+  Evaluator evaluator(app.space, app.data, *run.store, eval_cfg);
+
+  // Rebuild the strategy's population by replaying completed outcomes.
+  RegularizedEvolution strategy(app.space, cfg.evolution);
+  long max_id = -1;
+  for (const auto& r : previous.trace.records) {
+    strategy.report(Outcome{r.id, r.arch, r.score, r.ckpt_key});
+    max_id = std::max(max_id, r.id);
+  }
+
+  ClusterConfig cluster = cfg.cluster;
+  cluster.time_scale = cfg.time_scale > 0.0 ? cfg.time_scale : app.time_scale;
+  cluster.first_eval_id = max_id + 1;
+  cluster.clock_origin = previous.trace.makespan;
+  Rng rng(mix64(cfg.seed, mix64(0x5EA6C4, previous.trace.records.size())));
+  Trace continuation = run_search(evaluator, strategy, additional_evals, cluster, rng);
+
+  // Merge: prior records keep their timeline, continuation appends to it.
+  run.trace = std::move(previous.trace);
+  run.trace.makespan = std::max(run.trace.makespan, continuation.makespan);
+  run.trace.num_workers = continuation.num_workers;
+  run.trace.records.insert(run.trace.records.end(),
+                           std::make_move_iterator(continuation.records.begin()),
+                           std::make_move_iterator(continuation.records.end()));
+  return run;
+}
+
+std::vector<EvalRecord> top_k(const Trace& trace, std::size_t k) {
+  std::vector<EvalRecord> sorted = trace.records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EvalRecord& a, const EvalRecord& b) { return a.score > b.score; });
+  std::vector<EvalRecord> out;
+  std::unordered_set<std::uint64_t> seen;
+  for (auto& r : sorted) {
+    if (!seen.insert(arch_hash(r.arch)).second) continue;
+    out.push_back(r);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+FullTrainResult full_train(const AppConfig& app, const ArchSeq& arch,
+                           const Checkpoint* resume_from, TransferMode mode,
+                           const FullTrainConfig& cfg) {
+  FullTrainResult result;
+  result.arch = arch;
+
+  const auto run_pass = [&](bool early_stop, std::uint64_t salt) {
+    Rng rng(mix64(cfg.seed, mix64(arch_hash(arch), salt)));
+    NetworkPtr net = app.space.build(arch);
+    net->init(rng);
+    if (resume_from != nullptr && mode != TransferMode::kNone)
+      (void)apply_transfer(*resume_from, *net, mode);
+    result.param_count = net->param_count();
+    return Trainer::fit(*net, app.data.train, app.data.val,
+                        app.full_train_options(early_stop), rng);
+  };
+
+  const TrainResult es = run_pass(/*early_stop=*/true, 0xE5);
+  result.early_stop_objective = es.final_objective;
+  result.early_stop_epochs = es.epochs_run;
+
+  if (cfg.with_full_pass) {
+    const TrainResult full = run_pass(/*early_stop=*/false, 0xF0);
+    result.full_objective = full.final_objective;
+    result.full_epochs = full.epochs_run;
+  } else {
+    result.full_objective = es.final_objective;
+    result.full_epochs = es.epochs_run;
+  }
+  return result;
+}
+
+std::vector<SlotPoint> bucket_scores(const Trace& trace, double slot_seconds) {
+  std::vector<SlotPoint> out;
+  if (trace.records.empty() || slot_seconds <= 0.0) return out;
+  const auto n_slots =
+      static_cast<std::size_t>(std::ceil(trace.makespan / slot_seconds)) + 1;
+  std::vector<RunningStats> slots(n_slots);
+  for (const auto& r : trace.records) {
+    const auto slot = static_cast<std::size_t>(std::ceil(r.virtual_finish / slot_seconds));
+    slots[std::min(slot, n_slots - 1)].add(r.score);
+  }
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    if (slots[s].count() == 0) continue;
+    out.push_back(SlotPoint{static_cast<double>(s) * slot_seconds, slots[s].mean(),
+                            slots[s].ci95_half_width(), static_cast<int>(slots[s].count())});
+  }
+  return out;
+}
+
+}  // namespace swt

@@ -1,0 +1,88 @@
+// NAS run orchestration and top-K full training — the shared machinery
+// behind the Fig. 7/8/9/10 and Table III/IV reproductions.
+#pragma once
+
+#include <memory>
+
+#include "cluster/virtual_cluster.hpp"
+#include "exp/apps.hpp"
+
+namespace swt {
+
+struct NasRunConfig {
+  TransferMode mode = TransferMode::kNone;
+  long n_evals = 80;
+  std::uint64_t seed = 1;
+  ClusterConfig cluster = {};
+  /// Overrides cluster.time_scale when > 0; otherwise app.time_scale is used.
+  double time_scale = 0.0;
+  /// Checkpoint payload compression for the run's store (see compress.hpp).
+  CompressionKind compression = CompressionKind::kNone;
+  /// Estimation-time training-data fraction (see Evaluator::Config).
+  double train_subset_fraction = 1.0;
+  /// Estimation epochs override (0 = the app's estimation_epochs).
+  int estimation_epochs = 0;
+  RegularizedEvolution::Config evolution = {};
+};
+
+/// A completed NAS run: the trace plus the checkpoint store (kept alive so
+/// top-K full training can resume from candidate checkpoints).
+struct NasRun {
+  Trace trace;
+  std::unique_ptr<CheckpointStore> store;
+  TransferMode mode = TransferMode::kNone;
+};
+
+/// One NAS run of `cfg.n_evals` candidates with regularized evolution.
+[[nodiscard]] NasRun run_nas(const AppConfig& app, const NasRunConfig& cfg);
+
+/// Continue a completed run for `additional_evals` more candidates:
+/// the evolution population is reconstructed by replaying the previous
+/// trace's outcomes (in completion order), evaluation ids and the virtual
+/// clock continue where they left off, and the checkpoint store is reused,
+/// so providers from before the restart stay available — the restartable-
+/// search workflow of DeepHyper-style NAS services.  The continuation is a
+/// valid search but not bit-identical to an uninterrupted longer run (the
+/// strategy RNG restarts from cfg.seed+trace length).
+[[nodiscard]] NasRun resume_nas(const AppConfig& app, const NasRunConfig& cfg,
+                                NasRun previous, long additional_evals);
+
+/// Top-K records by score, deduplicated by architecture (evolution can
+/// re-evaluate an architecture; the paper's top-10 are distinct models).
+[[nodiscard]] std::vector<EvalRecord> top_k(const Trace& trace, std::size_t k);
+
+struct FullTrainResult {
+  ArchSeq arch;
+  double early_stop_objective = 0.0;
+  int early_stop_epochs = 0;
+  double full_objective = 0.0;  ///< trained to max epochs, no early stop
+  int full_epochs = 0;
+  std::int64_t param_count = 0;
+};
+
+struct FullTrainConfig {
+  std::uint64_t seed = 1;
+  /// Also run the no-early-stop "full training" pass (doubles the cost);
+  /// Fig. 8's orange lines and Table III's "Fully Trained" column need it.
+  bool with_full_pass = true;
+};
+
+/// Fully train one candidate.  If `resume_from` is non-null and `mode` is a
+/// transfer mode, initial weights come from that checkpoint via LP/LCS
+/// (for the candidate's own checkpoint this is exactly "resume training");
+/// otherwise training starts from random weights, like the baseline.
+[[nodiscard]] FullTrainResult full_train(const AppConfig& app, const ArchSeq& arch,
+                                         const Checkpoint* resume_from, TransferMode mode,
+                                         const FullTrainConfig& cfg);
+
+/// Fig. 7's bucketing: group completion times into `slot_seconds` slots and
+/// average the scores per slot (mean with 95% CI).
+struct SlotPoint {
+  double slot_end = 0.0;
+  double mean = 0.0;
+  double ci95 = 0.0;
+  int count = 0;
+};
+[[nodiscard]] std::vector<SlotPoint> bucket_scores(const Trace& trace, double slot_seconds);
+
+}  // namespace swt

@@ -1,0 +1,128 @@
+#include "exp/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace swt {
+
+namespace {
+
+constexpr const char* kHeader =
+    "id,arch,score,parent_id,ckpt_key,param_count,tensors_transferred,"
+    "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
+    "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
+    "ckpt_available_at,virtual_start,virtual_finish,worker";
+
+/// Architecture sequences are encoded as '|'-joined ints so the CSV stays
+/// one-value-per-column.
+std::string encode_arch(const ArchSeq& arch) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < arch.size(); ++i) {
+    if (i) os << '|';
+    os << arch[i];
+  }
+  return os.str();
+}
+
+ArchSeq decode_arch(const std::string& text) {
+  ArchSeq arch;
+  if (text.empty()) return arch;
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, '|')) arch.push_back(std::stoi(token));
+  return arch;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os.precision(17);
+  os << "# swtnas trace, num_workers=" << trace.num_workers
+     << ", makespan=" << trace.makespan << '\n';
+  os << kHeader << '\n';
+  for (const auto& r : trace.records) {
+    os << r.id << ',' << encode_arch(r.arch) << ',' << r.score << ',' << r.parent_id << ','
+       << r.ckpt_key << ',' << r.param_count << ',' << r.tensors_transferred << ','
+       << r.values_transferred << ',' << r.train_seconds << ',' << r.transfer_seconds
+       << ',' << r.ckpt_read_cost << ',' << r.ckpt_write_cost << ',' << r.ckpt_bytes << ','
+       << r.ckpt_write_charged << ',' << r.ckpt_read_wait << ',' << r.ckpt_available_at
+       << ',' << r.virtual_start << ',' << r.virtual_finish << ',' << r.worker << '\n';
+  }
+}
+
+void write_trace_csv(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_trace_csv: cannot open " + path);
+  write_trace_csv(out, trace);
+  if (!out) throw std::runtime_error("write_trace_csv: write failed for " + path);
+}
+
+Trace read_trace_csv(std::istream& is) {
+  Trace trace;
+  std::string line;
+  if (!std::getline(is, line) || !line.starts_with("# swtnas trace"))
+    throw std::runtime_error("read_trace_csv: missing trace preamble");
+  {
+    std::istringstream meta(line);
+    std::string token;
+    while (std::getline(meta, token, ',')) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key.ends_with("num_workers")) trace.num_workers = std::stoi(value);
+      if (key.ends_with("makespan")) trace.makespan = std::stod(value);
+    }
+  }
+  if (!std::getline(is, line) || line != kHeader)
+    throw std::runtime_error("read_trace_csv: unexpected header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 19)
+      throw std::runtime_error("read_trace_csv: expected 19 columns, got " +
+                               std::to_string(cells.size()));
+    EvalRecord r;
+    std::size_t c = 0;
+    r.id = std::stol(cells[c++]);
+    r.arch = decode_arch(cells[c++]);
+    r.score = std::stod(cells[c++]);
+    r.parent_id = std::stol(cells[c++]);
+    r.ckpt_key = cells[c++];
+    r.param_count = std::stoll(cells[c++]);
+    r.tensors_transferred = std::stoull(cells[c++]);
+    r.values_transferred = std::stoull(cells[c++]);
+    r.train_seconds = std::stod(cells[c++]);
+    r.transfer_seconds = std::stod(cells[c++]);
+    r.ckpt_read_cost = std::stod(cells[c++]);
+    r.ckpt_write_cost = std::stod(cells[c++]);
+    r.ckpt_bytes = std::stoull(cells[c++]);
+    r.ckpt_write_charged = std::stod(cells[c++]);
+    r.ckpt_read_wait = std::stod(cells[c++]);
+    r.ckpt_available_at = std::stod(cells[c++]);
+    r.virtual_start = std::stod(cells[c++]);
+    r.virtual_finish = std::stod(cells[c++]);
+    r.worker = std::stoi(cells[c++]);
+    trace.records.push_back(std::move(r));
+  }
+  return trace;
+}
+
+Trace read_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_csv: cannot open " + path);
+  return read_trace_csv(in);
+}
+
+}  // namespace swt

@@ -1,0 +1,26 @@
+// Trace persistence: CSV export/import of NAS traces.
+//
+// DeepHyper persists its search history as CSV results files that downstream
+// analysis notebooks consume; these helpers play the same role — every bench
+// can dump its traces for offline plotting, and the pair/τ studies can be
+// recomputed from a stored trace without rerunning the search.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/virtual_cluster.hpp"
+
+namespace swt {
+
+/// Write a header plus one row per record (completion order).
+void write_trace_csv(std::ostream& os, const Trace& trace);
+void write_trace_csv(const std::string& path, const Trace& trace);
+
+/// Parse a trace written by write_trace_csv.  Throws std::runtime_error on
+/// malformed input.  Round-trips every EvalRecord field except none (all
+/// fields are serialized).
+[[nodiscard]] Trace read_trace_csv(std::istream& is);
+[[nodiscard]] Trace read_trace_csv(const std::string& path);
+
+}  // namespace swt

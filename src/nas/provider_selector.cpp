@@ -1,0 +1,74 @@
+#include "nas/provider_selector.hpp"
+
+namespace swt {
+
+const char* to_string(ProviderPolicy p) noexcept {
+  switch (p) {
+    case ProviderPolicy::kNearest: return "nearest";
+    case ProviderPolicy::kBest: return "best";
+    case ProviderPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+ProviderSelector::ProviderSelector(ProviderPolicy policy, std::size_t window)
+    : policy_(policy), window_(window) {}
+
+void ProviderSelector::observe(const Outcome& outcome) {
+  history_.push_back(outcome);
+  if (window_ > 0)
+    while (history_.size() > window_) history_.pop_front();
+}
+
+std::optional<Outcome> ProviderSelector::select(const ArchSeq& child, Rng& rng) const {
+  if (history_.empty()) return std::nullopt;
+  switch (policy_) {
+    case ProviderPolicy::kRandom:
+      return history_[rng.uniform_index(history_.size())];
+    case ProviderPolicy::kBest: {
+      const Outcome* best = &history_.front();
+      for (const auto& o : history_)
+        if (o.score > best->score) best = &o;
+      return *best;
+    }
+    case ProviderPolicy::kNearest: {
+      // Min d; ties prefer higher score, then the more recent candidate
+      // (whose weights have seen the most cumulative training).
+      const Outcome* best = nullptr;
+      int best_d = 0;
+      for (const auto& o : history_) {
+        const int d = hamming_distance(o.arch, child);
+        if (best == nullptr || d < best_d || (d == best_d && o.score > best->score) ||
+            (d == best_d && o.score == best->score && o.id > best->id)) {
+          best = &o;
+          best_d = d;
+        }
+      }
+      return *best;
+    }
+  }
+  return std::nullopt;
+}
+
+TransferRandomSearch::TransferRandomSearch(const SearchSpace& space, ProviderPolicy policy,
+                                           std::size_t window)
+    : space_(&space), selector_(policy, window) {}
+
+Proposal TransferRandomSearch::propose(Rng& rng) {
+  Proposal p;
+  p.arch = space_->random_arch(rng);
+  if (auto provider = selector_.select(p.arch, rng)) {
+    p.parent_arch = provider->arch;
+    p.parent_ckpt_key = provider->ckpt_key;
+    p.parent_id = provider->id;
+  }
+  return p;
+}
+
+void TransferRandomSearch::report(const Outcome& outcome) { selector_.observe(outcome); }
+
+std::string TransferRandomSearch::name() const {
+  return std::string("random+transfer(") + to_string(selector_.policy()) + ")";
+}
+
+}  // namespace swt

@@ -1,0 +1,68 @@
+// Provider-model selection (Section V).
+//
+// The paper integrates weight transfer with regularized evolution because
+// there the provider is free: the mutated parent is at distance d = 1 by
+// construction.  For other strategies a provider must be *selected* from the
+// previously evaluated candidates; Section V-B notes that scanning all
+// checkpointed candidates "can introduce a significant overhead", so the
+// selector scans a bounded window of the most recent outcomes.
+//
+// Policies:
+//   kNearest - minimise architecture distance d (the paper's similarity
+//              criterion; Fig. 5 shows small d predicts positive transfer),
+//              tie-broken by score then recency.
+//   kBest    - highest estimation score regardless of d.
+//   kRandom  - uniform over the window (Fig. 4's often-harmful baseline).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "nas/strategy.hpp"
+
+namespace swt {
+
+enum class ProviderPolicy { kNearest, kBest, kRandom };
+
+[[nodiscard]] const char* to_string(ProviderPolicy p) noexcept;
+
+class ProviderSelector {
+ public:
+  /// `window` bounds how many of the most recent outcomes are scanned
+  /// (0 = unbounded; the paper's overhead concern argues for a bound).
+  explicit ProviderSelector(ProviderPolicy policy, std::size_t window = 256);
+
+  /// Record an evaluated candidate as a potential provider.
+  void observe(const Outcome& outcome);
+
+  /// Choose a provider for `child`; empty when nothing has been observed.
+  [[nodiscard]] std::optional<Outcome> select(const ArchSeq& child, Rng& rng) const;
+
+  [[nodiscard]] ProviderPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::size_t observed() const noexcept { return history_.size(); }
+
+ private:
+  ProviderPolicy policy_;
+  std::size_t window_;
+  std::deque<Outcome> history_;
+};
+
+/// Random search augmented with weight transfer: proposals are uniform over
+/// the space (like RandomSearch) but each carries a provider chosen by the
+/// selector — demonstrating that the paper's mechanism is not tied to
+/// evolutionary search (Section V-B, Related Work).
+class TransferRandomSearch final : public SearchStrategy {
+ public:
+  TransferRandomSearch(const SearchSpace& space, ProviderPolicy policy,
+                       std::size_t window = 256);
+
+  [[nodiscard]] Proposal propose(Rng& rng) override;
+  void report(const Outcome& outcome) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  const SearchSpace* space_;
+  ProviderSelector selector_;
+};
+
+}  // namespace swt

@@ -1,0 +1,83 @@
+// Search spaces and architecture sequences.
+//
+// A search space is a template of fixed operations and variable nodes
+// (Section II of the paper).  Fixing one choice per variable node yields an
+// *architecture sequence* — a vector of choice indices that uniquely
+// identifies a candidate model.  The space can build the concrete Network
+// for any architecture sequence, mutate sequences (one variable node at a
+// time, as in regularized evolution) and measure the Hamming distance d
+// between two sequences (Section V-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nas/opspec.hpp"
+#include "nn/network.hpp"
+
+namespace swt {
+
+using ArchSeq = std::vector<int>;
+
+[[nodiscard]] std::string arch_to_string(const ArchSeq& arch);
+[[nodiscard]] std::uint64_t arch_hash(const ArchSeq& arch);
+
+/// Number of differing variable-node choices ("d" in the paper).
+[[nodiscard]] int hamming_distance(const ArchSeq& a, const ArchSeq& b);
+
+struct VariableNode {
+  std::string name;
+  std::vector<OpSpec> choices;
+};
+
+/// One position in a tower: either a fixed op or a reference to a VN.
+struct Slot {
+  [[nodiscard]] static Slot fixed(OpSpec op) { return Slot{std::move(op), -1}; }
+  [[nodiscard]] static Slot variable(int vn_index) { return Slot{OpSpec{}, vn_index}; }
+
+  OpSpec fixed_op;
+  int vn_index = -1;  ///< -1 means fixed
+
+  [[nodiscard]] bool is_variable() const noexcept { return vn_index >= 0; }
+};
+
+class SearchSpace {
+ public:
+  std::string name;
+  std::vector<VariableNode> vns;
+  /// One tower per input source; sequential spaces have exactly one tower.
+  std::vector<std::vector<Slot>> towers;
+  /// Trunk after tower concatenation; empty for sequential spaces.
+  std::vector<Slot> trunk;
+  /// Whether the last input source bypasses the towers and joins the trunk
+  /// concatenation raw (Uno's fourth dataset).
+  bool extra_raw_input = false;
+  /// Per-source sample shapes (batch axis excluded).
+  std::vector<Shape> input_shapes;
+
+  [[nodiscard]] int num_vns() const noexcept { return static_cast<int>(vns.size()); }
+
+  /// Cardinality of the space, saturating at uint64 max.
+  [[nodiscard]] std::uint64_t cardinality() const noexcept;
+  [[nodiscard]] double log10_cardinality() const noexcept;
+
+  /// Build the concrete network for `arch` (one choice per VN, validated).
+  [[nodiscard]] NetworkPtr build(const ArchSeq& arch) const;
+
+  [[nodiscard]] ArchSeq random_arch(Rng& rng) const;
+
+  /// Change exactly one variable node to a *different* choice.  VNs with a
+  /// single choice are never selected.
+  [[nodiscard]] ArchSeq mutate(const ArchSeq& arch, Rng& rng) const;
+
+  /// Throws std::invalid_argument if `arch` is not valid for this space.
+  void validate(const ArchSeq& arch) const;
+
+  /// Human-readable description of the chosen ops, e.g. for examples.
+  [[nodiscard]] std::string describe(const ArchSeq& arch) const;
+};
+
+}  // namespace swt

@@ -1,0 +1,57 @@
+#include "nas/strategy.hpp"
+
+#include <stdexcept>
+
+namespace swt {
+
+Proposal RandomSearch::propose(Rng& rng) {
+  return Proposal{space_->random_arch(rng), std::nullopt, "", -1};
+}
+
+RegularizedEvolution::RegularizedEvolution(const SearchSpace& space, Config cfg)
+    : space_(&space), cfg_(cfg) {
+  if (cfg_.population_size <= 0 || cfg_.sample_size <= 0 ||
+      cfg_.sample_size > cfg_.population_size)
+    throw std::invalid_argument("RegularizedEvolution: need 0 < S <= N");
+}
+
+Proposal RegularizedEvolution::propose(Rng& rng) {
+  // Warm-up: submit N random candidates before evolving.  Counting
+  // *submissions* (not completions) keeps asynchronous evaluators busy
+  // without over-filling the initial population, as DeepHyper does.  A
+  // population restored by replaying outcomes (resumed search) skips the
+  // warm-up entirely once it is already full.
+  const bool population_full =
+      population_.size() >= static_cast<std::size_t>(cfg_.population_size);
+  if ((warmup_submitted_ < cfg_.population_size && !population_full) ||
+      population_.size() < static_cast<std::size_t>(cfg_.sample_size)) {
+    ++warmup_submitted_;
+    return Proposal{space_->random_arch(rng), std::nullopt, "", -1};
+  }
+
+  // Tournament: sample S distinct members, best score becomes the parent.
+  std::vector<std::size_t> indices(population_.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  shuffle(indices, rng);
+  const Outcome* parent = nullptr;
+  for (int s = 0; s < cfg_.sample_size; ++s) {
+    const Outcome& member = population_[indices[static_cast<std::size_t>(s)]];
+    if (parent == nullptr || member.score > parent->score) parent = &member;
+  }
+
+  Proposal p;
+  p.arch = space_->mutate(parent->arch, rng);  // d(parent, child) == 1
+  p.parent_arch = parent->arch;
+  p.parent_ckpt_key = parent->ckpt_key;
+  p.parent_id = parent->id;
+  return p;
+}
+
+void RegularizedEvolution::report(const Outcome& outcome) {
+  population_.push_back(outcome);
+  // Aging: the oldest member dies, regardless of fitness.
+  while (population_.size() > static_cast<std::size_t>(cfg_.population_size))
+    population_.pop_front();
+}
+
+}  // namespace swt

@@ -1,0 +1,80 @@
+// Search strategies.
+//
+// The scheduler (src/cluster) repeatedly asks the strategy to propose a
+// candidate and reports back evaluated scores.  RegularizedEvolution is the
+// paper's Algorithm 1: an aging population of N members; proposals sample S
+// members, take the best as parent and mutate one variable node — so the
+// parent is a natural weight-transfer provider at distance d = 1.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "nas/search_space.hpp"
+
+namespace swt {
+
+/// What the strategy wants evaluated next.
+struct Proposal {
+  ArchSeq arch;
+  /// Provider model for weight transfer: set iff the proposal was produced
+  /// by mutating an evaluated parent (never set during the random warm-up).
+  std::optional<ArchSeq> parent_arch;
+  std::string parent_ckpt_key;  ///< empty when parent_arch is empty
+  long parent_id = -1;          ///< evaluation id of the parent, -1 if none
+};
+
+/// A scored candidate fed back to the strategy.
+struct Outcome {
+  long id = 0;           ///< evaluation id assigned by the driver
+  ArchSeq arch;
+  double score = 0.0;
+  std::string ckpt_key;  ///< where the candidate's checkpoint lives
+};
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+  [[nodiscard]] virtual Proposal propose(Rng& rng) = 0;
+  virtual void report(const Outcome& outcome) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class RandomSearch final : public SearchStrategy {
+ public:
+  explicit RandomSearch(const SearchSpace& space) : space_(&space) {}
+
+  [[nodiscard]] Proposal propose(Rng& rng) override;
+  void report(const Outcome& /*outcome*/) override {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  const SearchSpace* space_;
+};
+
+/// Regularized (aging) evolution, Real et al. 2019 / Algorithm 1.
+class RegularizedEvolution final : public SearchStrategy {
+ public:
+  struct Config {
+    int population_size = 16;  ///< N (the paper uses 64 at cluster scale)
+    int sample_size = 8;       ///< S (the paper uses 32)
+  };
+
+  RegularizedEvolution(const SearchSpace& space, Config cfg);
+
+  [[nodiscard]] Proposal propose(Rng& rng) override;
+  void report(const Outcome& outcome) override;
+  [[nodiscard]] std::string name() const override { return "regularized-evolution"; }
+
+  [[nodiscard]] std::size_t population_count() const noexcept { return population_.size(); }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  const SearchSpace* space_;
+  Config cfg_;
+  std::deque<Outcome> population_;
+  long warmup_submitted_ = 0;
+};
+
+}  // namespace swt

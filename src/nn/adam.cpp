@@ -1,0 +1,46 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swt {
+
+void Adam::step(std::vector<ParamRef>& params) {
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (auto& p : params) {
+      m_.emplace_back(p.value->shape());
+      v_.emplace_back(p.value->shape());
+    }
+  }
+  if (m_.size() != params.size())
+    throw std::logic_error("Adam: parameter list changed between steps");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  const double alpha = cfg_.lr * std::sqrt(bc2) / bc1;
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto& p = params[pi];
+    if (!p.trainable || p.grad == nullptr) continue;
+    Tensor& w = *p.value;
+    Tensor& g = *p.grad;
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    const float b1 = static_cast<float>(cfg_.beta1);
+    const float b2 = static_cast<float>(cfg_.beta2);
+    const float wd = p.weight_decay;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const auto iz = static_cast<std::size_t>(i);
+      float grad = g[iz];
+      if (wd > 0.0f) grad += wd * w[iz];  // L2 regulariser contribution
+      m[iz] = b1 * m[iz] + (1.0f - b1) * grad;
+      v[iz] = b2 * v[iz] + (1.0f - b2) * grad * grad;
+      w[iz] -= static_cast<float>(alpha * m[iz] /
+                                  (std::sqrt(static_cast<double>(v[iz])) + cfg_.epsilon));
+    }
+  }
+}
+
+}  // namespace swt

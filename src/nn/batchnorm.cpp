@@ -1,0 +1,162 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swt {
+
+BatchNorm::BatchNorm(std::string name, std::int64_t channels, float momentum, float epsilon)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Shape{channels_}),
+      beta_(Shape{channels_}),
+      dgamma_(Shape{channels_}),
+      dbeta_(Shape{channels_}),
+      running_mean_(Shape{channels_}),
+      running_var_(Shape{channels_}) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm: non-positive channel count");
+  init_defaults();
+}
+
+void BatchNorm::init(Rng& /*rng*/) { init_defaults(); }
+
+void BatchNorm::init_defaults() {
+  gamma_.fill(1.0f);
+  beta_.zero();
+  running_mean_.zero();
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool train) {
+  const auto& s = x.shape();
+  if (s.empty() || s.back() != channels_)
+    throw std::invalid_argument("BatchNorm " + name_ + ": bad input shape " + s.to_string());
+  cached_shape_ = s;
+  train_mode_ = train;
+  const std::int64_t c = channels_;
+  const std::int64_t m = x.numel() / c;  // reduction count per channel
+  Tensor y(s);
+  cached_inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
+
+  if (train) {
+    std::vector<float> mean(static_cast<std::size_t>(c), 0.0f);
+    std::vector<float> var(static_cast<std::size_t>(c), 0.0f);
+    const float* px = x.data();
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* row = px + i * c;
+      for (std::int64_t ci = 0; ci < c; ++ci) mean[static_cast<std::size_t>(ci)] += row[ci];
+    }
+    for (auto& v : mean) v /= static_cast<float>(m);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* row = px + i * c;
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        const float d = row[ci] - mean[static_cast<std::size_t>(ci)];
+        var[static_cast<std::size_t>(ci)] += d * d;
+      }
+    }
+    for (auto& v : var) v /= static_cast<float>(m);
+
+    cached_xhat_ = Tensor(s);
+    float* pxh = cached_xhat_.data();
+    float* py = y.data();
+    for (std::int64_t ci = 0; ci < c; ++ci)
+      cached_inv_std_[static_cast<std::size_t>(ci)] =
+          1.0f / std::sqrt(var[static_cast<std::size_t>(ci)] + epsilon_);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* row = px + i * c;
+      float* xh = pxh + i * c;
+      float* yr = py + i * c;
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        const auto cz = static_cast<std::size_t>(ci);
+        xh[ci] = (row[ci] - mean[cz]) * cached_inv_std_[cz];
+        yr[ci] = gamma_[cz] * xh[ci] + beta_[cz];
+      }
+    }
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const auto cz = static_cast<std::size_t>(ci);
+      running_mean_[cz] = momentum_ * running_mean_[cz] + (1.0f - momentum_) * mean[cz];
+      running_var_[cz] = momentum_ * running_var_[cz] + (1.0f - momentum_) * var[cz];
+    }
+  } else {
+    const float* px = x.data();
+    float* py = y.data();
+    for (std::int64_t ci = 0; ci < c; ++ci)
+      cached_inv_std_[static_cast<std::size_t>(ci)] =
+          1.0f / std::sqrt(running_var_[static_cast<std::size_t>(ci)] + epsilon_);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* row = px + i * c;
+      float* yr = py + i * c;
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        const auto cz = static_cast<std::size_t>(ci);
+        yr[ci] = gamma_[cz] * (row[ci] - running_mean_[cz]) * cached_inv_std_[cz] + beta_[cz];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& dy) {
+  const std::int64_t c = channels_;
+  const std::int64_t m = dy.numel() / c;
+  Tensor dx(cached_shape_);
+
+  if (!train_mode_) {
+    // Inference-mode backward: statistics are constants.
+    const float* pdy = dy.data();
+    float* pdx = dx.data();
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        const auto cz = static_cast<std::size_t>(ci);
+        pdx[i * c + ci] = pdy[i * c + ci] * gamma_[cz] * cached_inv_std_[cz];
+      }
+    }
+    return dx;
+  }
+
+  std::vector<float> sum_dy(static_cast<std::size_t>(c), 0.0f);
+  std::vector<float> sum_dy_xhat(static_cast<std::size_t>(c), 0.0f);
+  const float* pdy = dy.data();
+  const float* pxh = cached_xhat_.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* dr = pdy + i * c;
+    const float* xr = pxh + i * c;
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const auto cz = static_cast<std::size_t>(ci);
+      sum_dy[cz] += dr[ci];
+      sum_dy_xhat[cz] += dr[ci] * xr[ci];
+    }
+  }
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    const auto cz = static_cast<std::size_t>(ci);
+    dbeta_[cz] += sum_dy[cz];
+    dgamma_[cz] += sum_dy_xhat[cz];
+  }
+  float* pdx = dx.data();
+  const float inv_m = 1.0f / static_cast<float>(m);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* dr = pdy + i * c;
+    const float* xr = pxh + i * c;
+    float* dxr = pdx + i * c;
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const auto cz = static_cast<std::size_t>(ci);
+      dxr[ci] = gamma_[cz] * cached_inv_std_[cz] * inv_m *
+                (static_cast<float>(m) * dr[ci] - sum_dy[cz] - xr[ci] * sum_dy_xhat[cz]);
+    }
+  }
+  return dx;
+}
+
+void BatchNorm::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({name_ + "/gamma", &gamma_, &dgamma_, 0.0f, true});
+  out.push_back({name_ + "/beta", &beta_, &dbeta_, 0.0f, true});
+  out.push_back({name_ + "/moving_mean", &running_mean_, nullptr, 0.0f, false});
+  out.push_back({name_ + "/moving_var", &running_var_, nullptr, 0.0f, false});
+}
+
+std::string BatchNorm::describe() const {
+  return "BatchNorm(" + std::to_string(channels_) + ")";
+}
+
+}  // namespace swt

@@ -1,0 +1,38 @@
+// Batch normalisation over the channel (last) axis, Keras semantics:
+// training uses batch statistics and updates exponential running statistics;
+// inference uses the running statistics.  gamma/beta are trainable; the
+// running mean/variance are persisted (checkpointed, transferable) but not
+// optimised, mirroring a Keras HDF5 checkpoint's four tensors per BN layer.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace swt {
+
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(std::string name, std::int64_t channels, float momentum = 0.99f,
+                     float epsilon = 1e-3f);
+
+  void init(Rng& rng) override;
+  [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  void init_defaults();
+
+  std::string name_;
+  std::int64_t channels_;
+  float momentum_, epsilon_;
+  Tensor gamma_, beta_, dgamma_, dbeta_;
+  Tensor running_mean_, running_var_;
+  // Caches for backward.
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  Shape cached_shape_;
+  bool train_mode_ = false;
+};
+
+}  // namespace swt

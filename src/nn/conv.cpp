@@ -1,0 +1,236 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swt {
+
+const char* to_string(Padding p) noexcept {
+  return p == Padding::kSame ? "same" : "valid";
+}
+
+std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel, Padding pad) {
+  if (pad == Padding::kSame) return in;
+  return in - kernel + 1;
+}
+
+namespace {
+/// He-uniform fan-in init (Keras default for conv is Glorot; He works equally
+/// well here and keeps relu stacks healthy at small widths).
+void init_conv_kernel(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  w.rand_uniform(rng, -limit, limit);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Conv2D
+// ---------------------------------------------------------------------------
+
+Conv2D::Conv2D(std::string name, std::int64_t kernel, std::int64_t in_channels,
+               std::int64_t out_channels, Padding pad, float weight_decay)
+    : name_(std::move(name)),
+      k_(kernel),
+      cin_(in_channels),
+      cout_(out_channels),
+      pad_(pad),
+      weight_decay_(weight_decay),
+      w_(Shape{k_, k_, cin_, cout_}),
+      b_(Shape{cout_}),
+      dw_(Shape{k_, k_, cin_, cout_}),
+      db_(Shape{cout_}) {
+  if (k_ <= 0 || cin_ <= 0 || cout_ <= 0)
+    throw std::invalid_argument("Conv2D: non-positive size");
+}
+
+void Conv2D::init(Rng& rng) {
+  init_conv_kernel(w_, k_ * k_ * cin_, k_ * k_ * cout_, rng);
+  b_.zero();
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
+  const auto& s = x.shape();
+  if (s.rank() != 4 || s[3] != cin_)
+    throw std::invalid_argument("Conv2D " + name_ + ": bad input shape " + s.to_string());
+  cached_x_ = x;
+  const std::int64_t n = s[0], h = s[1], w = s[2];
+  const std::int64_t oh = conv_out_extent(h, k_, pad_);
+  const std::int64_t ow = conv_out_extent(w, k_, pad_);
+  if (oh <= 0 || ow <= 0)
+    throw std::invalid_argument("Conv2D " + name_ + ": kernel larger than input");
+  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
+  Tensor y(Shape{n, oh, ow, cout_});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t yo = 0; yo < oh; ++yo) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        float* out = &y.at(ni, yo, xo, 0);
+        for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] = b_[static_cast<std::size_t>(oc)];
+        for (std::int64_t kh = 0; kh < k_; ++kh) {
+          const std::int64_t yi = yo + kh - pad_lo;
+          if (yi < 0 || yi >= h) continue;
+          for (std::int64_t kw = 0; kw < k_; ++kw) {
+            const std::int64_t xi = xo + kw - pad_lo;
+            if (xi < 0 || xi >= w) continue;
+            const float* in = &x.at(ni, yi, xi, 0);
+            const float* ker = &w_.at(kh, kw, 0, 0);
+            for (std::int64_t ic = 0; ic < cin_; ++ic) {
+              const float xv = in[ic];
+              const float* krow = ker + ic * cout_;
+              for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] += xv * krow[oc];
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& dy) {
+  const auto& s = cached_x_.shape();
+  const std::int64_t n = s[0], h = s[1], w = s[2];
+  const std::int64_t oh = dy.shape()[1], ow = dy.shape()[2];
+  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
+  Tensor dx(s);
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t yo = 0; yo < oh; ++yo) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        const float* dout = &dy.at(ni, yo, xo, 0);
+        for (std::int64_t oc = 0; oc < cout_; ++oc)
+          db_[static_cast<std::size_t>(oc)] += dout[oc];
+        for (std::int64_t kh = 0; kh < k_; ++kh) {
+          const std::int64_t yi = yo + kh - pad_lo;
+          if (yi < 0 || yi >= h) continue;
+          for (std::int64_t kw = 0; kw < k_; ++kw) {
+            const std::int64_t xi = xo + kw - pad_lo;
+            if (xi < 0 || xi >= w) continue;
+            const float* in = &cached_x_.at(ni, yi, xi, 0);
+            float* din = &dx.at(ni, yi, xi, 0);
+            for (std::int64_t ic = 0; ic < cin_; ++ic) {
+              const float xv = in[ic];
+              float* dker = &dw_.at(kh, kw, ic, 0);
+              const float* ker = &w_.at(kh, kw, ic, 0);
+              float acc = 0.0f;
+              for (std::int64_t oc = 0; oc < cout_; ++oc) {
+                dker[oc] += xv * dout[oc];
+                acc += ker[oc] * dout[oc];
+              }
+              din[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({name_ + "/W", &w_, &dw_, weight_decay_, true});
+  out.push_back({name_ + "/b", &b_, &db_, 0.0f, true});
+}
+
+std::string Conv2D::describe() const {
+  return "Conv2D(" + std::to_string(cout_) + ", k=" + std::to_string(k_) + ", " +
+         to_string(pad_) + (weight_decay_ > 0 ? ", l2" : "") + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Conv1D
+// ---------------------------------------------------------------------------
+
+Conv1D::Conv1D(std::string name, std::int64_t kernel, std::int64_t in_channels,
+               std::int64_t out_channels, Padding pad, float weight_decay)
+    : name_(std::move(name)),
+      k_(kernel),
+      cin_(in_channels),
+      cout_(out_channels),
+      pad_(pad),
+      weight_decay_(weight_decay),
+      w_(Shape{k_, cin_, cout_}),
+      b_(Shape{cout_}),
+      dw_(Shape{k_, cin_, cout_}),
+      db_(Shape{cout_}) {
+  if (k_ <= 0 || cin_ <= 0 || cout_ <= 0)
+    throw std::invalid_argument("Conv1D: non-positive size");
+}
+
+void Conv1D::init(Rng& rng) {
+  init_conv_kernel(w_, k_ * cin_, k_ * cout_, rng);
+  b_.zero();
+}
+
+Tensor Conv1D::forward(const Tensor& x, bool /*train*/) {
+  const auto& s = x.shape();
+  if (s.rank() != 3 || s[2] != cin_)
+    throw std::invalid_argument("Conv1D " + name_ + ": bad input shape " + s.to_string());
+  cached_x_ = x;
+  const std::int64_t n = s[0], len = s[1];
+  const std::int64_t olen = conv_out_extent(len, k_, pad_);
+  if (olen <= 0) throw std::invalid_argument("Conv1D " + name_ + ": kernel larger than input");
+  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
+  Tensor y(Shape{n, olen, cout_});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t lo = 0; lo < olen; ++lo) {
+      float* out = &y.at(ni, lo, 0);
+      for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] = b_[static_cast<std::size_t>(oc)];
+      for (std::int64_t kk = 0; kk < k_; ++kk) {
+        const std::int64_t li = lo + kk - pad_lo;
+        if (li < 0 || li >= len) continue;
+        const float* in = &x.at(ni, li, 0);
+        const float* ker = &w_.at(kk, 0, 0);
+        for (std::int64_t ic = 0; ic < cin_; ++ic) {
+          const float xv = in[ic];
+          const float* krow = ker + ic * cout_;
+          for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] += xv * krow[oc];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv1D::backward(const Tensor& dy) {
+  const auto& s = cached_x_.shape();
+  const std::int64_t n = s[0], len = s[1];
+  const std::int64_t olen = dy.shape()[1];
+  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
+  Tensor dx(s);
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t lo = 0; lo < olen; ++lo) {
+      const float* dout = &dy.at(ni, lo, 0);
+      for (std::int64_t oc = 0; oc < cout_; ++oc)
+        db_[static_cast<std::size_t>(oc)] += dout[oc];
+      for (std::int64_t kk = 0; kk < k_; ++kk) {
+        const std::int64_t li = lo + kk - pad_lo;
+        if (li < 0 || li >= len) continue;
+        const float* in = &cached_x_.at(ni, li, 0);
+        float* din = &dx.at(ni, li, 0);
+        for (std::int64_t ic = 0; ic < cin_; ++ic) {
+          const float xv = in[ic];
+          float* dker = &dw_.at(kk, ic, 0);
+          const float* ker = &w_.at(kk, ic, 0);
+          float acc = 0.0f;
+          for (std::int64_t oc = 0; oc < cout_; ++oc) {
+            dker[oc] += xv * dout[oc];
+            acc += ker[oc] * dout[oc];
+          }
+          din[ic] += acc;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv1D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({name_ + "/W", &w_, &dw_, weight_decay_, true});
+  out.push_back({name_ + "/b", &b_, &db_, 0.0f, true});
+}
+
+std::string Conv1D::describe() const {
+  return "Conv1D(" + std::to_string(cout_) + ", k=" + std::to_string(k_) + ", " +
+         to_string(pad_) + ")";
+}
+
+}  // namespace swt

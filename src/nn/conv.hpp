@@ -1,0 +1,63 @@
+// Convolution layers (stride 1, "same" or "valid" padding, channels-last).
+//
+// Conv2D: input (N, H, W, Cin), kernel (KH, KW, Cin, Cout).
+// Conv1D: input (N, L, Cin),    kernel (K, Cin, Cout).
+//
+// The search spaces in the paper vary filter count, padding and L2
+// regularisation of convolutions (Section VII-A); stride is fixed at 1 there
+// as well, with all spatial reduction done by pooling variable nodes.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace swt {
+
+enum class Padding { kValid, kSame };
+
+[[nodiscard]] const char* to_string(Padding p) noexcept;
+
+/// Output spatial extent of a stride-1 convolution.
+[[nodiscard]] std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
+                                           Padding pad);
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::string name, std::int64_t kernel, std::int64_t in_channels,
+         std::int64_t out_channels, Padding pad, float weight_decay = 0.0f);
+
+  void init(Rng& rng) override;
+  [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::string name_;
+  std::int64_t k_, cin_, cout_;
+  Padding pad_;
+  float weight_decay_;
+  Tensor w_, b_, dw_, db_;
+  Tensor cached_x_;
+};
+
+class Conv1D final : public Layer {
+ public:
+  Conv1D(std::string name, std::int64_t kernel, std::int64_t in_channels,
+         std::int64_t out_channels, Padding pad, float weight_decay = 0.0f);
+
+  void init(Rng& rng) override;
+  [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::string name_;
+  std::int64_t k_, cin_, cout_;
+  Padding pad_;
+  float weight_decay_;
+  Tensor w_, b_, dw_, db_;
+  Tensor cached_x_;
+};
+
+}  // namespace swt

@@ -1,0 +1,61 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swt {
+
+Dense::Dense(std::string name, std::int64_t in_features, std::int64_t out_features,
+             float weight_decay)
+    : name_(std::move(name)),
+      in_(in_features),
+      out_(out_features),
+      weight_decay_(weight_decay),
+      w_(Shape{in_, out_}),
+      b_(Shape{out_}),
+      dw_(Shape{in_, out_}),
+      db_(Shape{out_}) {
+  if (in_ <= 0 || out_ <= 0) throw std::invalid_argument("Dense: non-positive size");
+}
+
+void Dense::init(Rng& rng) {
+  // Glorot-uniform, the Keras default for Dense.
+  const float limit = std::sqrt(6.0f / static_cast<float>(in_ + out_));
+  w_.rand_uniform(rng, -limit, limit);
+  b_.zero();
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+  if (x.shape().rank() != 2 || x.shape()[1] != in_)
+    throw std::invalid_argument("Dense " + name_ + ": bad input shape " +
+                                x.shape().to_string());
+  cached_x_ = x;
+  Tensor y = matmul(x, w_);
+  const std::int64_t n = y.shape()[0];
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = y.data() + i * out_;
+    for (std::int64_t j = 0; j < out_; ++j) row[j] += b_[static_cast<std::size_t>(j)];
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& dy) {
+  dw_.add(matmul_tn(cached_x_, dy));
+  const std::int64_t n = dy.shape()[0];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = dy.data() + i * out_;
+    for (std::int64_t j = 0; j < out_; ++j) db_[static_cast<std::size_t>(j)] += row[j];
+  }
+  return matmul_nt(dy, w_);
+}
+
+void Dense::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({name_ + "/W", &w_, &dw_, weight_decay_, true});
+  out.push_back({name_ + "/b", &b_, &db_, 0.0f, true});
+}
+
+std::string Dense::describe() const {
+  return "Dense(" + std::to_string(out_) + ")";
+}
+
+}  // namespace swt

@@ -1,0 +1,42 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+namespace swt {
+
+GradCheckResult check_gradients(Network& net, const std::function<double()>& loss_fn,
+                                const std::function<void()>& backward_fn, Rng& rng,
+                                double epsilon, double tolerance, int samples_per_param) {
+  GradCheckResult result;
+  net.zero_grads();
+  backward_fn();
+  auto params = net.params();
+
+  for (auto& p : params) {
+    if (!p.trainable || p.grad == nullptr) continue;
+    for (int s = 0; s < samples_per_param; ++s) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(p.value->numel())));
+      const float saved = (*p.value)[i];
+      (*p.value)[i] = saved + static_cast<float>(epsilon);
+      const double l_plus = loss_fn();
+      (*p.value)[i] = saved - static_cast<float>(epsilon);
+      const double l_minus = loss_fn();
+      (*p.value)[i] = saved;
+      const double numeric = (l_plus - l_minus) / (2.0 * epsilon);
+      const double analytic = (*p.grad)[i];
+      const double abs_err = std::fabs(numeric - analytic);
+      const double denom = std::max(1.0, std::max(std::fabs(numeric), std::fabs(analytic)));
+      const double rel_err = abs_err / denom;
+      if (abs_err > result.max_abs_err) {
+        result.max_abs_err = abs_err;
+        result.worst_param = p.name;
+      }
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+    }
+  }
+  result.passed = result.max_rel_err <= tolerance;
+  return result;
+}
+
+}  // namespace swt

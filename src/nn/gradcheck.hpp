@@ -1,0 +1,30 @@
+// Numerical gradient verification.
+//
+// For a scalar loss L(params), compares the analytic gradient produced by
+// backward() with central finite differences.  Used by the test suite to
+// validate every layer's backward pass end-to-end through real networks.
+#pragma once
+
+#include <functional>
+
+#include "nn/network.hpp"
+
+namespace swt {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string worst_param;
+  bool passed = false;
+};
+
+/// `loss_fn` must run forward(train-mode with fixed randomness) and return
+/// the scalar loss WITHOUT touching gradients; `backward_fn` must populate
+/// gradients for the same input.  Checks `samples_per_param` random entries
+/// of every trainable tensor.
+[[nodiscard]] GradCheckResult check_gradients(
+    Network& net, const std::function<double()>& loss_fn,
+    const std::function<void()>& backward_fn, Rng& rng, double epsilon = 1e-3,
+    double tolerance = 2e-2, int samples_per_param = 4);
+
+}  // namespace swt

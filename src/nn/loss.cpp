@@ -1,0 +1,102 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swt {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("softmax: expected rank-2 logits");
+  const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
+  Tensor p(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* out = p.data() + i * c;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      out[j] = std::exp(row[j] - mx);
+      sum += out[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < c; ++j) out[j] *= inv;
+  }
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int> labels) {
+  const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != n)
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  LossResult r;
+  r.grad = softmax(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int label = labels[static_cast<std::size_t>(i)];
+    if (label < 0 || label >= c)
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    float* row = r.grad.data() + i * c;
+    loss -= std::log(std::max(row[label], 1e-12f));
+    row[label] -= 1.0f;
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  r.loss = loss / static_cast<double>(n);
+  return r;
+}
+
+LossResult mae_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape())
+    throw std::invalid_argument("mae_loss: shape mismatch");
+  const std::int64_t n = pred.numel();
+  LossResult r;
+  r.grad = Tensor(pred.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pred[static_cast<std::size_t>(i)] - target[static_cast<std::size_t>(i)];
+    loss += std::fabs(d);
+    r.grad[static_cast<std::size_t>(i)] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) * inv_n;
+  }
+  r.loss = loss / static_cast<double>(n);
+  return r;
+}
+
+double accuracy(const Tensor& logits, std::span<const int> labels) {
+  const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != n)
+    throw std::invalid_argument("accuracy: label count mismatch");
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    std::int64_t arg = 0;
+    for (std::int64_t j = 1; j < c; ++j)
+      if (row[j] > row[arg]) arg = j;
+    if (arg == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double r_squared(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape())
+    throw std::invalid_argument("r_squared: shape mismatch");
+  const std::int64_t n = pred.numel();
+  if (n < 2) throw std::invalid_argument("r_squared: need at least two samples");
+  double mean_y = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) mean_y += target[static_cast<std::size_t>(i)];
+  mean_y /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double e = target[static_cast<std::size_t>(i)] - pred[static_cast<std::size_t>(i)];
+    const double d = target[static_cast<std::size_t>(i)] - mean_y;
+    ss_res += e * e;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace swt

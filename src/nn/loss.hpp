@@ -1,0 +1,34 @@
+// Losses and objective metrics.
+//
+// The paper's apps use categorical cross-entropy with accuracy (CIFAR-10,
+// MNIST, NT3) and mean absolute error with R^2 (Uno) — Table I.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace swt {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;  ///< dL/d(pred), mean-reduced over the batch
+};
+
+/// Softmax cross-entropy from raw logits (N, C) and integer labels.
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               std::span<const int> labels);
+
+/// Mean absolute error between pred (N, 1) and target (N, 1).
+[[nodiscard]] LossResult mae_loss(const Tensor& pred, const Tensor& target);
+
+/// Fraction of argmax-correct rows.
+[[nodiscard]] double accuracy(const Tensor& logits, std::span<const int> labels);
+
+/// Coefficient of determination, 1 - SS_res / SS_tot.
+[[nodiscard]] double r_squared(const Tensor& pred, const Tensor& target);
+
+/// Row-wise softmax of logits (N, C); exposed for tests and examples.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+}  // namespace swt

@@ -1,0 +1,56 @@
+// Parameter-free layers: activations, dropout, flatten, identity.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace swt {
+
+class Activation final : public Layer {
+ public:
+  explicit Activation(ActKind kind) : kind_(kind) {}
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  ActKind kind_;
+  Tensor cached_;  // input for relu, output for tanh/sigmoid
+};
+
+/// Inverted dropout: at train time zeroes activations with probability
+/// `rate` and scales survivors by 1/(1-rate); identity at inference.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double rate);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string describe() const override;
+  void set_train_rng(Rng* rng) override { rng_ = rng; }
+
+ private:
+  double rate_;
+  Rng* rng_ = nullptr;
+  std::vector<float> mask_;
+};
+
+/// (N, d1, ..., dk) -> (N, d1*...*dk).
+class Flatten final : public Layer {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string describe() const override { return "Flatten"; }
+
+ private:
+  Shape in_shape_;
+};
+
+class IdentityLayer final : public Layer {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x, bool /*train*/) override { return x; }
+  [[nodiscard]] Tensor backward(const Tensor& dy) override { return dy; }
+  [[nodiscard]] std::string describe() const override { return "Identity"; }
+};
+
+}  // namespace swt

@@ -1,0 +1,35 @@
+#include "nn/sgd.hpp"
+
+#include <stdexcept>
+
+namespace swt {
+
+void Sgd::step(std::vector<ParamRef>& params) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (auto& p : params) velocity_.emplace_back(p.value->shape());
+  }
+  if (velocity_.size() != params.size())
+    throw std::logic_error("Sgd: parameter list changed between steps");
+  ++t_;
+  const auto lr = static_cast<float>(cfg_.lr);
+  const auto mu = static_cast<float>(cfg_.momentum);
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto& p = params[pi];
+    if (!p.trainable || p.grad == nullptr) continue;
+    Tensor& w = *p.value;
+    Tensor& g = *p.grad;
+    Tensor& v = velocity_[pi];
+    const float wd = p.weight_decay;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const auto iz = static_cast<std::size_t>(i);
+      float grad = g[iz];
+      if (wd > 0.0f) grad += wd * w[iz];
+      v[iz] = mu * v[iz] + grad;
+      // Nesterov look-ahead applies the momentum-corrected gradient.
+      w[iz] -= lr * (cfg_.nesterov ? mu * v[iz] + grad : v[iz]);
+    }
+  }
+}
+
+}  // namespace swt

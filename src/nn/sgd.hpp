@@ -1,0 +1,40 @@
+// SGD with (optionally Nesterov) momentum.
+//
+// The paper's experiments fix Adam, but candidate estimation is optimizer-
+// agnostic; SGD exists so the estimation-budget sensitivity of weight
+// transfer can be probed (and because a training library without SGD is not
+// a training library).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace swt {
+
+struct SgdConfig {
+  double lr = 1e-2;
+  double momentum = 0.9;
+  bool nesterov = false;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig cfg = {}) : cfg_(cfg) {}
+
+  /// One update over the parameters.  Slot buffers are keyed by position,
+  /// so the same instance must always see the same parameter list.
+  void step(std::vector<ParamRef>& params);
+
+  [[nodiscard]] std::int64_t iterations() const noexcept { return t_; }
+  [[nodiscard]] const SgdConfig& config() const noexcept { return cfg_; }
+  /// Adjust the learning rate between steps (for schedules).
+  void set_lr(double lr) noexcept { cfg_.lr = lr; }
+
+ private:
+  SgdConfig cfg_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace swt

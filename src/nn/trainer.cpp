@@ -1,0 +1,129 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace swt {
+
+const char* to_string(ObjectiveKind o) noexcept {
+  return o == ObjectiveKind::kAccuracy ? "ACC" : "R2";
+}
+
+const char* to_string(LrSchedule s) noexcept {
+  switch (s) {
+    case LrSchedule::kConstant: return "constant";
+    case LrSchedule::kStepDecay: return "step";
+    case LrSchedule::kCosine: return "cosine";
+  }
+  return "?";
+}
+
+double scheduled_lr(LrSchedule schedule, double base_lr, int epoch, int total_epochs,
+                    double step_decay, int step_every) {
+  switch (schedule) {
+    case LrSchedule::kConstant:
+      return base_lr;
+    case LrSchedule::kStepDecay:
+      return base_lr * std::pow(step_decay, epoch / std::max(1, step_every));
+    case LrSchedule::kCosine: {
+      if (total_epochs <= 1) return base_lr;
+      const double progress = static_cast<double>(epoch) / (total_epochs - 1);
+      return base_lr * 0.5 * (1.0 + std::cos(progress * 3.14159265358979323846));
+    }
+  }
+  return base_lr;
+}
+
+namespace {
+
+LossResult compute_loss(const Tensor& pred, const Dataset& batch) {
+  if (batch.regression()) return mae_loss(pred, batch.y);
+  return softmax_cross_entropy(pred, batch.labels);
+}
+
+}  // namespace
+
+TrainResult Trainer::fit(Network& net, const Dataset& train, const Dataset& val,
+                         const TrainOptions& opts, Rng& rng) {
+  Adam adam(opts.adam);
+  return fit(net, adam, train, val, opts, rng);
+}
+
+TrainResult Trainer::fit(Network& net, Adam& adam, const Dataset& train,
+                         const Dataset& val, const TrainOptions& opts, Rng& rng) {
+  train.check();
+  val.check();
+  auto params = net.params();
+  net.set_train_rng(&rng);
+
+  TrainResult result;
+  double prev_objective = std::nan("");
+  int flat_streak = 0;
+
+  std::vector<std::int64_t> batch_idx;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    adam.set_lr(scheduled_lr(opts.lr_schedule, opts.adam.lr, epoch, opts.epochs,
+                             opts.lr_step_decay, opts.lr_step_every));
+    BatchIterator batches(train.size(), opts.batch_size, rng);
+    while (batches.next(batch_idx)) {
+      const Dataset batch = train.subset(batch_idx);
+      net.zero_grads();
+      Tensor pred = net.forward(batch.x, /*train=*/true);
+      const LossResult lr = compute_loss(pred, batch);
+      net.backward(lr.grad);
+      adam.step(params);
+    }
+    const double objective = evaluate(net, val, opts.objective);
+    result.history.push_back(objective);
+    result.final_objective = objective;
+    result.epochs_run = epoch + 1;
+
+    if (opts.early_stop_min_delta >= 0.0 && !std::isnan(prev_objective)) {
+      if (std::fabs(objective - prev_objective) <= opts.early_stop_min_delta) {
+        if (++flat_streak >= opts.early_stop_patience) {
+          result.early_stopped = true;
+          break;
+        }
+      } else {
+        flat_streak = 0;
+      }
+    }
+    prev_objective = objective;
+  }
+  net.set_train_rng(nullptr);
+  return result;
+}
+
+double Trainer::evaluate(Network& net, const Dataset& data, ObjectiveKind objective,
+                         std::int64_t batch_size) {
+  data.check();
+  const std::int64_t n = data.size();
+  Tensor all_pred;
+  std::vector<std::int64_t> idx;
+  std::int64_t written = 0;
+  for (std::int64_t lo = 0; lo < n; lo += batch_size) {
+    const std::int64_t hi = std::min(n, lo + batch_size);
+    idx.clear();
+    for (std::int64_t i = lo; i < hi; ++i) idx.push_back(i);
+    const Dataset batch = data.subset(idx);
+    Tensor pred = net.forward(batch.x, /*train=*/false);
+    if (all_pred.empty())
+      all_pred = Tensor(pred.shape().drop_front().prepend(n));
+    for (std::int64_t i = 0; i < pred.shape()[0]; ++i) {
+      auto src = pred.row(i);
+      auto dst = all_pred.row(written++);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  switch (objective) {
+    case ObjectiveKind::kAccuracy:
+      return accuracy(all_pred, data.labels);
+    case ObjectiveKind::kR2:
+      return r_squared(all_pred, data.y);
+  }
+  throw std::logic_error("evaluate: unknown objective");
+}
+
+}  // namespace swt

@@ -1,0 +1,52 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace swt {
+
+std::int64_t Shape::numel() const noexcept {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+Shape Shape::append(std::int64_t dim) const {
+  std::vector<std::int64_t> d = dims_;
+  d.push_back(dim);
+  return Shape(std::move(d));
+}
+
+Shape Shape::drop_front(std::size_t n) const {
+  if (n >= dims_.size()) return Shape{};
+  return Shape(std::vector<std::int64_t>(dims_.begin() + static_cast<std::ptrdiff_t>(n),
+                                         dims_.end()));
+}
+
+Shape Shape::prepend(std::int64_t dim) const {
+  std::vector<std::int64_t> d;
+  d.reserve(dims_.size() + 1);
+  d.push_back(dim);
+  d.insert(d.end(), dims_.begin(), dims_.end());
+  return Shape(std::move(d));
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::uint64_t hash_shape(const Shape& s) noexcept {
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (std::int64_t d : s.dims()) h = mix64(h, static_cast<std::uint64_t>(d));
+  return mix64(h, s.rank());
+}
+
+}  // namespace swt

@@ -1,0 +1,50 @@
+// Tensor shapes.
+//
+// A Shape is an ordered list of extents.  Shapes are the unit of structural
+// comparison in the paper: the LP / LCS matchers operate on *shape
+// sequences*, i.e. the shapes of a model's parameter tensors in topological
+// order, and two tensors are "transferable" iff their shapes are identical.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace swt {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return dims_.empty(); }
+  [[nodiscard]] std::int64_t operator[](std::size_t i) const { return dims_[i]; }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const noexcept { return dims_; }
+
+  /// Total number of elements (1 for a rank-0 shape).
+  [[nodiscard]] std::int64_t numel() const noexcept;
+
+  /// Shape with `dim` appended.
+  [[nodiscard]] Shape append(std::int64_t dim) const;
+  /// Shape without its first `n` dimensions.
+  [[nodiscard]] Shape drop_front(std::size_t n = 1) const;
+  /// Shape with `dim` prepended (used to re-attach the batch dimension).
+  [[nodiscard]] Shape prepend(std::int64_t dim) const;
+  /// Last dimension; shape must be non-empty.
+  [[nodiscard]] std::int64_t back() const { return dims_.back(); }
+
+  [[nodiscard]] std::string to_string() const;  // e.g. "(3, 3, 16, 32)"
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+/// Stable 64-bit hash; shape sequences are hashed to key checkpoints.
+[[nodiscard]] std::uint64_t hash_shape(const Shape& s) noexcept;
+
+}  // namespace swt

@@ -1,0 +1,157 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swt {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {
+  if (shape_.numel() < 0) throw std::invalid_argument("Tensor: negative extent");
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel())
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_.to_string());
+}
+
+void Tensor::fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::add(const Tensor& other) {
+  if (shape_ != other.shape_) throw std::invalid_argument("Tensor::add: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale(float factor) noexcept {
+  for (auto& v : data_) v *= factor;
+}
+
+void Tensor::randn(Rng& rng, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void Tensor::rand_uniform(Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != shape_.numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " + shape_.to_string() +
+                                " -> " + new_shape.to_string());
+  return Tensor(std::move(new_shape), data_);
+}
+
+double Tensor::sum_squares() const noexcept {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+std::span<const float> Tensor::row(std::int64_t i) const {
+  const auto stride = static_cast<std::size_t>(numel() / shape_[0]);
+  return {data_.data() + static_cast<std::size_t>(i) * stride, stride};
+}
+
+std::span<float> Tensor::row(std::int64_t i) {
+  const auto stride = static_cast<std::size_t>(numel() / shape_[0]);
+  return {data_.data() + static_cast<std::size_t>(i) * stride, stride};
+}
+
+namespace {
+void check_rank2(const Tensor& t, const char* what) {
+  if (t.shape().rank() != 2)
+    throw std::invalid_argument(std::string(what) + ": expected rank-2 tensor, got " +
+                                t.shape().to_string());
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  if (b.shape()[0] != k) throw std::invalid_argument("matmul: inner dimension mismatch");
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams through B and C rows, cache-friendly row-major.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const std::int64_t k = a.shape()[0], m = a.shape()[1], n = b.shape()[1];
+  if (b.shape()[0] != k) throw std::invalid_argument("matmul_tn: inner dimension mismatch");
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[0];
+  if (b.shape()[1] != k) throw std::invalid_argument("matmul_nt: inner dimension mismatch");
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor gather_rows(const Tensor& src, std::span<const std::int64_t> idx) {
+  if (src.shape().rank() < 1) throw std::invalid_argument("gather_rows: rank-0 source");
+  Shape out_shape = src.shape().drop_front().prepend(static_cast<std::int64_t>(idx.size()));
+  Tensor out(std::move(out_shape));
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    auto src_row = src.row(idx[r]);
+    auto dst_row = out.row(static_cast<std::int64_t>(r));
+    std::copy(src_row.begin(), src_row.end(), dst_row.begin());
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[static_cast<std::size_t>(i)] - b[static_cast<std::size_t>(i)]));
+  return m;
+}
+
+}  // namespace swt

@@ -1,0 +1,102 @@
+// Dense row-major float32 tensor.
+//
+// This is deliberately a simple owning container: the layer kernels in
+// src/nn index raw data directly, which on small CPU models is faster and
+// far easier to verify than a lazy-expression framework.  All dimension
+// checking is done with exceptions at API boundaries (Core Guidelines I.10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace swt {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Allocates zero-initialised storage of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t numel() const noexcept { return static_cast<std::int64_t>(data_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> values() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> values() const noexcept { return data_; }
+
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  // Multi-dimensional accessors for the common ranks (no bounds checks in
+  // release; the kernels own their loop bounds).
+  [[nodiscard]] float& at(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  [[nodiscard]] const float& at(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  [[nodiscard]] float& at(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  [[nodiscard]] const float& at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  [[nodiscard]] float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) {
+    return data_[static_cast<std::size_t>(((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+  }
+  [[nodiscard]] const float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const {
+    return data_[static_cast<std::size_t>(((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+  }
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Element-wise in-place operations (shapes must match exactly).
+  void add(const Tensor& other);
+  void scale(float factor) noexcept;
+
+  /// Gaussian init with the given standard deviation.
+  void randn(Rng& rng, float stddev);
+  /// Uniform init in [lo, hi).
+  void rand_uniform(Rng& rng, float lo, float hi);
+
+  /// Reinterpret as a new shape with identical numel.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Sum of squares (used for L2 regularisation accounting and tests).
+  [[nodiscard]] double sum_squares() const noexcept;
+
+  /// Row `i` of a tensor whose first dimension is the batch axis, viewed as
+  /// a span of length numel()/shape()[0].
+  [[nodiscard]] std::span<const float> row(std::int64_t i) const;
+  [[nodiscard]] std::span<float> row(std::int64_t i);
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// C = A(m,k) * B(k,n); shapes validated.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T * B where A is (k,m) and B is (k,n) -> (m,n).
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A * B^T where A is (m,k) and B is (n,k) -> (m,n).
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Gather rows `idx` from `src` (first dim = batch) into a new tensor.
+[[nodiscard]] Tensor gather_rows(const Tensor& src, std::span<const std::int64_t> idx);
+
+/// Max absolute element-wise difference; shapes must match.
+[[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace swt

@@ -1,0 +1,134 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swt {
+namespace {
+
+/// A single free parameter with an externally computed gradient.
+struct Param {
+  Tensor w{Shape{1}};
+  Tensor g{Shape{1}};
+  std::vector<ParamRef> refs(float wd = 0.0f, bool trainable = true) {
+    return {{"w", &w, &g, wd, trainable}};
+  }
+};
+
+TEST(Adam, FirstStepMagnitudeIsLearningRate) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Param p;
+  p.w[0] = 1.0f;
+  p.g[0] = 0.37f;
+  Adam adam({.lr = 0.01});
+  auto refs = p.refs();
+  adam.step(refs);
+  EXPECT_NEAR(p.w[0], 1.0f - 0.01f, 1e-4);
+}
+
+TEST(Adam, MinimisesQuadratic) {
+  // f(w) = (w - 3)^2; grad = 2 (w - 3).
+  Param p;
+  p.w[0] = -5.0f;
+  Adam adam({.lr = 0.05});
+  auto refs = p.refs();
+  for (int i = 0; i < 2000; ++i) {
+    p.g[0] = 2.0f * (p.w[0] - 3.0f);
+    adam.step(refs);
+  }
+  EXPECT_NEAR(p.w[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, SkipsNonTrainableParams) {
+  Param p;
+  p.w[0] = 2.0f;
+  p.g[0] = 1.0f;
+  Adam adam;
+  auto refs = p.refs(0.0f, /*trainable=*/false);
+  adam.step(refs);
+  EXPECT_EQ(p.w[0], 2.0f);
+}
+
+TEST(Adam, NullGradIsSkipped) {
+  Tensor w(Shape{1});
+  w[0] = 5.0f;
+  std::vector<ParamRef> refs = {{"w", &w, nullptr, 0.0f, true}};
+  Adam adam;
+  adam.step(refs);
+  EXPECT_EQ(w[0], 5.0f);
+}
+
+TEST(Adam, WeightDecayPullsTowardsZero) {
+  // Zero loss gradient, only the L2 term acts: w must shrink.
+  Param p;
+  p.w[0] = 1.0f;
+  p.g[0] = 0.0f;
+  Adam adam({.lr = 0.01});
+  auto refs = p.refs(/*wd=*/0.1f);
+  for (int i = 0; i < 200; ++i) {
+    p.g[0] = 0.0f;
+    adam.step(refs);
+  }
+  EXPECT_LT(std::fabs(p.w[0]), 0.5f);
+}
+
+TEST(Adam, IterationCounterAdvances) {
+  Param p;
+  Adam adam;
+  auto refs = p.refs();
+  EXPECT_EQ(adam.iterations(), 0);
+  adam.step(refs);
+  adam.step(refs);
+  EXPECT_EQ(adam.iterations(), 2);
+}
+
+TEST(Adam, ParameterListChangeThrows) {
+  Param p;
+  Adam adam;
+  auto refs = p.refs();
+  adam.step(refs);
+  Param q;
+  auto refs2 = q.refs();
+  refs2.push_back(refs[0]);
+  EXPECT_THROW(adam.step(refs2), std::logic_error);
+}
+
+TEST(Adam, DefaultsMatchPaperSettings) {
+  const AdamConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.lr, 1e-3);
+  EXPECT_DOUBLE_EQ(cfg.beta1, 0.9);
+  EXPECT_DOUBLE_EQ(cfg.beta2, 0.999);
+  EXPECT_DOUBLE_EQ(cfg.epsilon, 1e-7);
+}
+
+TEST(Adam, ConvergesOnMultiDimQuadratic) {
+  Tensor w(Shape{4}, {10, -10, 5, -5});
+  Tensor g(Shape{4});
+  std::vector<ParamRef> refs = {{"w", &w, &g, 0.0f, true}};
+  Adam adam({.lr = 0.1});
+  const float targets[4] = {1, 2, 3, 4};
+  for (int i = 0; i < 3000; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) g[j] = 2.0f * (w[j] - targets[j]);
+    adam.step(refs);
+  }
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(w[j], targets[j], 0.1f);
+}
+
+class AdamLrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdamLrSweep, FirstStepScalesWithLr) {
+  const double lr = GetParam();
+  Param p;
+  p.w[0] = 0.0f;
+  p.g[0] = 1.0f;
+  Adam adam({.lr = lr});
+  auto refs = p.refs();
+  adam.step(refs);
+  EXPECT_NEAR(p.w[0], -lr, lr * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lrs, AdamLrSweep, ::testing::Values(1e-4, 1e-3, 1e-2, 1e-1));
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ckpt/store.hpp"
+#include "nn/dense.hpp"
+#include "nn/misc.hpp"
+#include "nn/network.hpp"
+
+namespace swt {
+namespace {
+
+Checkpoint sample_checkpoint() {
+  Checkpoint ckpt;
+  ckpt.arch = {1, 0, 2};
+  ckpt.score = 0.875;
+  ckpt.tensors.push_back({"d0/W", Tensor(Shape{2, 3}, {1, 2, 3, 4, 5, 6})});
+  ckpt.tensors.push_back({"d0/b", Tensor(Shape{3}, {-1, 0, 1})});
+  return ckpt;
+}
+
+TEST(Checkpoint, SerializeDeserializeRoundTrip) {
+  const Checkpoint original = sample_checkpoint();
+  const auto bytes = serialize(original);
+  const Checkpoint restored = deserialize(bytes);
+  EXPECT_EQ(restored.arch, original.arch);
+  EXPECT_DOUBLE_EQ(restored.score, original.score);
+  ASSERT_EQ(restored.tensors.size(), 2u);
+  EXPECT_EQ(restored.tensors[0].name, "d0/W");
+  EXPECT_EQ(restored.tensors[0].value, original.tensors[0].value);
+  EXPECT_EQ(restored.tensors[1].value, original.tensors[1].value);
+}
+
+TEST(Checkpoint, EmptyCheckpointRoundTrips) {
+  Checkpoint empty;
+  const Checkpoint restored = deserialize(serialize(empty));
+  EXPECT_TRUE(restored.arch.empty());
+  EXPECT_TRUE(restored.tensors.empty());
+}
+
+TEST(Checkpoint, CorruptionIsDetected) {
+  auto bytes = serialize(sample_checkpoint());
+  // Flip one payload byte somewhere in the middle.
+  bytes[bytes.size() / 2] ^= std::byte{0x01};
+  EXPECT_THROW((void)deserialize(bytes), std::runtime_error);
+}
+
+TEST(Checkpoint, TruncationIsDetected) {
+  auto bytes = serialize(sample_checkpoint());
+  bytes.resize(bytes.size() - 5);
+  EXPECT_THROW((void)deserialize(bytes), std::runtime_error);
+}
+
+TEST(Checkpoint, BadMagicIsDetected) {
+  auto bytes = serialize(sample_checkpoint());
+  bytes[0] = std::byte{0x00};
+  EXPECT_THROW((void)deserialize(bytes), std::runtime_error);
+}
+
+TEST(Checkpoint, PayloadBytesCountsFloats) {
+  const Checkpoint ckpt = sample_checkpoint();
+  EXPECT_EQ(ckpt.payload_bytes(), (6 + 3) * sizeof(float));
+}
+
+TEST(Checkpoint, FromNetworkSnapshotsParamsInOrder) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Dense>("a", 2, 3));
+  layers.push_back(std::make_unique<Dense>("b", 3, 1));
+  Sequential net(std::move(layers));
+  Rng rng(1);
+  net.init(rng);
+  const Checkpoint ckpt = Checkpoint::from_network(net, {0, 1}, 0.5);
+  ASSERT_EQ(ckpt.tensors.size(), 4u);
+  EXPECT_EQ(ckpt.tensors[0].name, "a/W");
+  EXPECT_EQ(ckpt.tensors[1].name, "a/b");
+  EXPECT_EQ(ckpt.tensors[2].name, "b/W");
+  EXPECT_EQ(ckpt.tensors[3].name, "b/b");
+  // Snapshot is a copy, not a view.
+  net.params()[0].value->fill(0.0f);
+  EXPECT_NE(ckpt.tensors[0].value.sum_squares(), 0.0);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Store, MemoryPutGetRoundTrip) {
+  CheckpointStore store;
+  const Checkpoint ckpt = sample_checkpoint();
+  const IoStats put_stats = store.put("k1", ckpt);
+  EXPECT_GT(put_stats.bytes, 0u);
+  EXPECT_GT(put_stats.cost_seconds, 0.0);
+  auto [restored, get_stats] = store.get("k1");
+  EXPECT_EQ(restored.arch, ckpt.arch);
+  EXPECT_EQ(get_stats.bytes, put_stats.bytes);
+  EXPECT_TRUE(store.contains("k1"));
+  EXPECT_FALSE(store.contains("k2"));
+  EXPECT_EQ(store.count(), 1u);
+}
+
+TEST(Store, UnknownKeyThrows) {
+  CheckpointStore store;
+  EXPECT_THROW((void)store.get("nope"), std::out_of_range);
+}
+
+TEST(Store, OverwriteReplacesPayload) {
+  CheckpointStore store;
+  Checkpoint a = sample_checkpoint();
+  store.put("k", a);
+  a.score = 0.1;
+  store.put("k", a);
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_DOUBLE_EQ(store.get("k").first.score, 0.1);
+  EXPECT_EQ(store.stored_sizes().size(), 2u);  // both puts accounted
+}
+
+TEST(Store, DiskBackendPersistsToFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_test";
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+  const Checkpoint ckpt = sample_checkpoint();
+  store.put("model-1", ckpt);
+  EXPECT_TRUE(std::filesystem::exists(dir / "model-1.swtc"));
+  auto [restored, stats] = store.get("model-1");
+  EXPECT_EQ(restored.tensors[0].value, ckpt.tensors[0].value);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, DiskBackendRequiresDirectory) {
+  EXPECT_THROW(CheckpointStore(CheckpointStore::Backend::kDisk, {}),
+               std::invalid_argument);
+}
+
+TEST(Store, CostModelIsAffineInSize) {
+  PfsCostModel model{.write_latency_s = 0.1,
+                     .write_bandwidth_bps = 1000.0,
+                     .read_latency_s = 0.2,
+                     .read_bandwidth_bps = 500.0};
+  EXPECT_DOUBLE_EQ(model.write_cost(0), 0.1);
+  EXPECT_DOUBLE_EQ(model.write_cost(2000), 0.1 + 2.0);
+  EXPECT_DOUBLE_EQ(model.read_cost(1000), 0.2 + 2.0);
+}
+
+TEST(Store, TotalBytesWrittenAccumulates) {
+  CheckpointStore store;
+  const Checkpoint ckpt = sample_checkpoint();
+  const auto s1 = store.put("a", ckpt);
+  const auto s2 = store.put("b", ckpt);
+  EXPECT_EQ(store.total_bytes_written(), s1.bytes + s2.bytes);
+}
+
+TEST(Store, NetworkRoundTripThroughStore) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Dense>("d", 4, 2));
+  Sequential net(std::move(layers));
+  Rng rng(5);
+  net.init(rng);
+  CheckpointStore store;
+  store.put("net", Checkpoint::from_network(net, {1}, 0.9));
+  const Checkpoint back = store.get("net").first;
+  EXPECT_EQ(back.tensors[0].value, *net.params()[0].value);
+  EXPECT_DOUBLE_EQ(back.score, 0.9);
+}
+
+class CorruptionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorruptionSweep, AnySingleByteFlipIsCaught) {
+  auto bytes = serialize(sample_checkpoint());
+  const std::size_t pos = GetParam() % bytes.size();
+  bytes[pos] ^= std::byte{0xFF};
+  EXPECT_THROW((void)deserialize(bytes), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, CorruptionSweep,
+                         ::testing::Values(0, 1, 4, 9, 17, 33, 64, 101, 1000));
+
+}  // namespace
+}  // namespace swt

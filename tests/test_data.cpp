@@ -1,0 +1,149 @@
+#include "data/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace swt {
+namespace {
+
+TEST(Dataset, SubsetGathersRowsAndLabels) {
+  Dataset d;
+  d.num_classes = 3;
+  d.x.emplace_back(Shape{4, 2}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+  d.labels = {0, 1, 2, 1};
+  const std::vector<std::int64_t> idx = {3, 0};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.labels, (std::vector<int>{1, 0}));
+  EXPECT_EQ(s.x[0].at(0, 0), 7.0f);
+  EXPECT_EQ(s.x[0].at(1, 1), 2.0f);
+}
+
+TEST(Dataset, SubsetGathersRegressionTargets) {
+  Dataset d;
+  d.x.emplace_back(Shape{3, 1}, std::vector<float>{1, 2, 3});
+  d.y = Tensor(Shape{3, 1}, {10, 20, 30});
+  const std::vector<std::int64_t> idx = {2, 1};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.y.at(0, 0), 30.0f);
+  EXPECT_EQ(s.y.at(1, 0), 20.0f);
+}
+
+TEST(Dataset, CheckDetectsInconsistencies) {
+  Dataset d;
+  d.x.emplace_back(Shape{3, 1});
+  d.labels = {0, 1};  // wrong count
+  EXPECT_THROW(d.check(), std::logic_error);
+  d.labels = {0, 1, 0};
+  EXPECT_NO_THROW(d.check());
+  d.y = Tensor(Shape{3, 1});  // both labels and targets set
+  EXPECT_THROW(d.check(), std::logic_error);
+}
+
+TEST(Dataset, CheckRejectsEmptySources) {
+  Dataset d;
+  EXPECT_THROW(d.check(), std::logic_error);
+}
+
+TEST(Generators, CifarLikeShapesAndDeterminism) {
+  const DatasetPair a = make_cifar_like({.n_train = 64, .n_val = 32, .seed = 5});
+  EXPECT_EQ(a.train.x[0].shape(), Shape({64, 8, 8, 3}));
+  EXPECT_EQ(a.val.x[0].shape(), Shape({32, 8, 8, 3}));
+  EXPECT_EQ(a.train.num_classes, 10);
+  const DatasetPair b = make_cifar_like({.n_train = 64, .n_val = 32, .seed = 5});
+  EXPECT_EQ(a.train.x[0], b.train.x[0]);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  const DatasetPair a = make_cifar_like({.n_train = 16, .n_val = 8, .seed = 1});
+  const DatasetPair b = make_cifar_like({.n_train = 16, .n_val = 8, .seed = 2});
+  EXPECT_NE(a.train.x[0], b.train.x[0]);
+}
+
+TEST(Generators, TrainValSplitsAreDistinct) {
+  const DatasetPair a = make_mnist_like({.n_train = 32, .n_val = 32, .seed = 3});
+  EXPECT_NE(a.train.x[0], a.val.x[0]);
+}
+
+TEST(Generators, MnistLikeIsSingleChannel) {
+  const DatasetPair a = make_mnist_like({.n_train = 16, .n_val = 8, .seed = 1});
+  EXPECT_EQ(a.train.x[0].shape(), Shape({16, 8, 8, 1}));
+}
+
+TEST(Generators, LabelsInRange) {
+  const DatasetPair a = make_cifar_like({.n_train = 200, .n_val = 50, .seed = 9});
+  std::set<int> seen;
+  for (int label : a.train.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+    seen.insert(label);
+  }
+  EXPECT_GE(seen.size(), 8u);  // all classes essentially present
+}
+
+TEST(Generators, Nt3LikeIsBinaryAndTiny) {
+  const DatasetPair a = make_nt3_like({.n_train = 160, .n_val = 48, .seed = 2}, 96);
+  EXPECT_EQ(a.train.x[0].shape(), Shape({160, 96, 1}));
+  EXPECT_EQ(a.train.num_classes, 2);
+  for (int label : a.train.labels) EXPECT_TRUE(label == 0 || label == 1);
+}
+
+TEST(Generators, Nt3LengthIsConfigurable) {
+  const DatasetPair a = make_nt3_like({.n_train = 8, .n_val = 8, .seed = 2}, 384);
+  EXPECT_EQ(a.train.x[0].shape(), Shape({8, 384, 1}));
+}
+
+TEST(Generators, UnoLikeHasFourSources) {
+  const DatasetPair a = make_uno_like({.n_train = 32, .n_val = 16, .seed = 4});
+  ASSERT_EQ(a.train.num_sources(), 4u);
+  EXPECT_EQ(a.train.x[0].shape(), Shape({32, 1}));
+  EXPECT_EQ(a.train.x[1].shape(), Shape({32, 32}));
+  EXPECT_EQ(a.train.x[2].shape(), Shape({32, 24}));
+  EXPECT_EQ(a.train.x[3].shape(), Shape({32, 16}));
+  EXPECT_TRUE(a.train.regression());
+  EXPECT_EQ(a.train.y.shape(), Shape({32, 1}));
+}
+
+TEST(Generators, UnoDoseResponseIsMonotoneOnAverage) {
+  // Higher dose -> lower expected response in the Hill model.
+  const DatasetPair a = make_uno_like({.n_train = 2000, .n_val = 16, .seed = 6});
+  double low_sum = 0.0, high_sum = 0.0;
+  int low_n = 0, high_n = 0;
+  for (std::int64_t i = 0; i < a.train.size(); ++i) {
+    const float dose = a.train.x[0].at(i, 0);
+    if (dose < -1.5) {
+      low_sum += a.train.y.at(i, 0);
+      ++low_n;
+    } else if (dose > 1.5) {
+      high_sum += a.train.y.at(i, 0);
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 10);
+  ASSERT_GT(high_n, 10);
+  EXPECT_GT(low_sum / low_n, high_sum / high_n + 0.3);
+}
+
+TEST(Generators, SampleShapeHelper) {
+  const DatasetPair a = make_uno_like({.n_train = 8, .n_val = 8, .seed = 1});
+  EXPECT_EQ(a.train.sample_shape(0), Shape({1}));
+  EXPECT_EQ(a.train.sample_shape(1), Shape({32}));
+}
+
+class GeneratorSizeSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GeneratorSizeSweep, RequestedSizesHonoured) {
+  const std::int64_t n = GetParam();
+  const DatasetPair a = make_mnist_like({.n_train = n, .n_val = n / 2, .seed = 1});
+  EXPECT_EQ(a.train.size(), n);
+  EXPECT_EQ(a.val.size(), n / 2);
+  a.train.check();
+  a.val.check();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSizeSweep, ::testing::Values(4, 16, 64, 256));
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,147 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swt {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits(Shape{3, 4}, {1, 2, 3, 4, -1, 0, 1, 2, 10, 10, 10, 10});
+  Tensor p = softmax(logits);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < 4; ++j) sum += p.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+}
+
+TEST(Softmax, UniformOnEqualLogits) {
+  Tensor logits(Shape{1, 4}, {5, 5, 5, 5});
+  Tensor p = softmax(logits);
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_NEAR(p.at(0, j), 0.25f, 1e-6);
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Tensor logits(Shape{1, 2}, {1000.0f, 999.0f});
+  Tensor p = softmax(logits);
+  EXPECT_NEAR(p.at(0, 0), 1.0f / (1.0f + std::exp(-1.0f)), 1e-5);
+  EXPECT_FALSE(std::isnan(p.at(0, 1)));
+}
+
+TEST(CrossEntropy, KnownValue) {
+  // Uniform logits over 4 classes: loss = ln(4).
+  Tensor logits(Shape{2, 4});
+  const std::vector<int> labels = {0, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHotOverN) {
+  Tensor logits(Shape{1, 3}, {0.0f, 1.0f, 2.0f});
+  const std::vector<int> labels = {1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const Tensor p = softmax(logits);
+  EXPECT_NEAR(r.grad.at(0, 0), p.at(0, 0), 1e-6);
+  EXPECT_NEAR(r.grad.at(0, 1), p.at(0, 1) - 1.0f, 1e-6);
+  EXPECT_NEAR(r.grad.at(0, 2), p.at(0, 2), 1e-6);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Tensor logits(Shape{4, 5});
+  Rng rng(1);
+  logits.randn(rng, 2.0f);
+  const std::vector<int> labels = {0, 1, 2, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < 5; ++j) sum += r.grad.at(i, j);
+    EXPECT_NEAR(sum, 0.0f, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, ValidatesLabels) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW((void)softmax_cross_entropy(logits, std::vector<int>{3}),
+               std::invalid_argument);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, std::vector<int>{-1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, std::vector<int>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Mae, KnownValueAndGradSigns) {
+  Tensor pred(Shape{3, 1}, {1.0f, 2.0f, 5.0f});
+  Tensor target(Shape{3, 1}, {2.0f, 2.0f, 3.0f});
+  const LossResult r = mae_loss(pred, target);
+  EXPECT_NEAR(r.loss, (1.0 + 0.0 + 2.0) / 3.0, 1e-6);
+  EXPECT_NEAR(r.grad[0], -1.0f / 3.0f, 1e-6);
+  EXPECT_NEAR(r.grad[1], 0.0f, 1e-6);
+  EXPECT_NEAR(r.grad[2], 1.0f / 3.0f, 1e-6);
+}
+
+TEST(Mae, ShapeMismatchThrows) {
+  EXPECT_THROW((void)mae_loss(Tensor(Shape{2, 1}), Tensor(Shape{3, 1})),
+               std::invalid_argument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits(Shape{3, 3},
+                {5, 1, 1,    // argmax 0
+                 0, 0, 9,    // argmax 2
+                 1, 8, 3});  // argmax 1
+  EXPECT_DOUBLE_EQ(accuracy(logits, std::vector<int>{0, 2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, std::vector<int>{0, 2, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, std::vector<int>{1, 0, 2}), 0.0);
+}
+
+TEST(RSquared, PerfectPredictionIsOne) {
+  Tensor y(Shape{4, 1}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  Tensor target(Shape{4, 1}, {1, 2, 3, 4});
+  Tensor pred(Shape{4, 1}, {2.5f, 2.5f, 2.5f, 2.5f});
+  EXPECT_NEAR(r_squared(pred, target), 0.0, 1e-6);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative) {
+  Tensor target(Shape{4, 1}, {1, 2, 3, 4});
+  Tensor pred(Shape{4, 1}, {4, 3, 2, 1});
+  EXPECT_LT(r_squared(pred, target), 0.0);
+}
+
+TEST(RSquared, ConstantTargetReturnsZero) {
+  Tensor target(Shape{3, 1}, {2, 2, 2});
+  Tensor pred(Shape{3, 1}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(r_squared(pred, target), 0.0);
+}
+
+/// Numerical check of the CE gradient via central differences on logits.
+class CeGradSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CeGradSweep, MatchesFiniteDifferences) {
+  const int n_classes = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n_classes));
+  Tensor logits(Shape{2, n_classes});
+  logits.randn(rng, 1.0f);
+  std::vector<int> labels = {0, n_classes - 1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[static_cast<std::size_t>(i)] += static_cast<float>(eps);
+    minus[static_cast<std::size_t>(i)] -= static_cast<float>(eps);
+    const double numeric = (softmax_cross_entropy(plus, labels).loss -
+                            softmax_cross_entropy(minus, labels).loss) /
+                           (2 * eps);
+    EXPECT_NEAR(numeric, r.grad[static_cast<std::size_t>(i)], 5e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, CeGradSweep, ::testing::Values(2, 3, 5, 10));
+
+}  // namespace
+}  // namespace swt

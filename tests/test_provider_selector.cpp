@@ -1,0 +1,180 @@
+#include "nas/provider_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nas/spaces_zoo.hpp"
+
+namespace swt {
+namespace {
+
+class SelectorFixture : public ::testing::Test {
+ protected:
+  SearchSpace space_ = make_mnist_space(8);
+
+  Outcome outcome(long id, ArchSeq arch, double score) {
+    return Outcome{id, std::move(arch), score, "ckpt-" + std::to_string(id)};
+  }
+};
+
+TEST_F(SelectorFixture, EmptyHistoryYieldsNothing) {
+  ProviderSelector selector(ProviderPolicy::kNearest);
+  Rng rng(1);
+  EXPECT_FALSE(selector.select(space_.random_arch(rng), rng).has_value());
+}
+
+TEST_F(SelectorFixture, NearestPicksMinimumDistance) {
+  ProviderSelector selector(ProviderPolicy::kNearest);
+  Rng rng(2);
+  const ArchSeq child = space_.random_arch(rng);
+  ArchSeq d1 = space_.mutate(child, rng);
+  ArchSeq d3 = space_.mutate(space_.mutate(d1, rng), rng);
+  selector.observe(outcome(0, d3, 0.99));  // farther but better score
+  selector.observe(outcome(1, d1, 0.10));  // nearest
+  const auto provider = selector.select(child, rng);
+  ASSERT_TRUE(provider.has_value());
+  EXPECT_EQ(provider->id, 1);
+}
+
+TEST_F(SelectorFixture, NearestPrefersExactMatch) {
+  ProviderSelector selector(ProviderPolicy::kNearest);
+  Rng rng(3);
+  const ArchSeq child = space_.random_arch(rng);
+  selector.observe(outcome(0, space_.mutate(child, rng), 0.9));
+  selector.observe(outcome(1, child, 0.1));  // d = 0
+  const auto provider = selector.select(child, rng);
+  ASSERT_TRUE(provider.has_value());
+  EXPECT_EQ(provider->id, 1);
+}
+
+TEST_F(SelectorFixture, NearestTieBreaksByScoreThenRecency) {
+  ProviderSelector selector(ProviderPolicy::kNearest);
+  Rng rng(4);
+  const ArchSeq child = space_.random_arch(rng);
+  const ArchSeq a = space_.mutate(child, rng);
+  ArchSeq b = space_.mutate(child, rng);
+  while (b == a) b = space_.mutate(child, rng);
+  // Same d = 1; the higher score must win.
+  selector.observe(outcome(0, a, 0.3));
+  selector.observe(outcome(1, b, 0.7));
+  auto provider = selector.select(child, rng);
+  ASSERT_TRUE(provider.has_value());
+  EXPECT_EQ(provider->id, 1);
+  // Equal scores: the more recent id wins.
+  ProviderSelector selector2(ProviderPolicy::kNearest);
+  selector2.observe(outcome(0, a, 0.5));
+  selector2.observe(outcome(1, b, 0.5));
+  provider = selector2.select(child, rng);
+  ASSERT_TRUE(provider.has_value());
+  EXPECT_EQ(provider->id, 1);
+}
+
+TEST_F(SelectorFixture, BestPolicyIgnoresDistance) {
+  ProviderSelector selector(ProviderPolicy::kBest);
+  Rng rng(5);
+  const ArchSeq child = space_.random_arch(rng);
+  selector.observe(outcome(0, child, 0.2));                      // d = 0, low score
+  selector.observe(outcome(1, space_.random_arch(rng), 0.9));   // far, high score
+  const auto provider = selector.select(child, rng);
+  ASSERT_TRUE(provider.has_value());
+  EXPECT_EQ(provider->id, 1);
+}
+
+TEST_F(SelectorFixture, RandomPolicyCoversHistory) {
+  ProviderSelector selector(ProviderPolicy::kRandom);
+  Rng rng(6);
+  for (long i = 0; i < 5; ++i) selector.observe(outcome(i, space_.random_arch(rng), 0.5));
+  std::set<long> seen;
+  const ArchSeq child = space_.random_arch(rng);
+  for (int i = 0; i < 200; ++i) {
+    const auto provider = selector.select(child, rng);
+    ASSERT_TRUE(provider.has_value());
+    seen.insert(provider->id);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST_F(SelectorFixture, WindowEvictsOldest) {
+  ProviderSelector selector(ProviderPolicy::kBest, /*window=*/3);
+  Rng rng(7);
+  const ArchSeq child = space_.random_arch(rng);
+  selector.observe(outcome(0, child, 0.99));  // best, but will age out
+  for (long i = 1; i <= 3; ++i) selector.observe(outcome(i, space_.random_arch(rng), 0.1));
+  EXPECT_EQ(selector.observed(), 3u);
+  const auto provider = selector.select(child, rng);
+  ASSERT_TRUE(provider.has_value());
+  EXPECT_NE(provider->id, 0);
+}
+
+TEST_F(SelectorFixture, UnboundedWindowKeepsEverything) {
+  ProviderSelector selector(ProviderPolicy::kRandom, /*window=*/0);
+  Rng rng(8);
+  for (long i = 0; i < 500; ++i) selector.observe(outcome(i, space_.random_arch(rng), 0.5));
+  EXPECT_EQ(selector.observed(), 500u);
+}
+
+TEST_F(SelectorFixture, PolicyNames) {
+  EXPECT_STREQ(to_string(ProviderPolicy::kNearest), "nearest");
+  EXPECT_STREQ(to_string(ProviderPolicy::kBest), "best");
+  EXPECT_STREQ(to_string(ProviderPolicy::kRandom), "random");
+}
+
+TEST(TransferRandomSearchTest, FirstProposalHasNoProvider) {
+  const SearchSpace space = make_nt3_space(96);
+  TransferRandomSearch strategy(space, ProviderPolicy::kNearest);
+  Rng rng(9);
+  const Proposal p = strategy.propose(rng);
+  EXPECT_FALSE(p.parent_arch.has_value());
+  EXPECT_NO_THROW(space.validate(p.arch));
+}
+
+TEST(TransferRandomSearchTest, LaterProposalsCarryProviders) {
+  const SearchSpace space = make_mnist_space(8);
+  TransferRandomSearch strategy(space, ProviderPolicy::kNearest);
+  Rng rng(10);
+  for (long i = 0; i < 8; ++i) {
+    const Proposal p = strategy.propose(rng);
+    strategy.report(Outcome{i, p.arch, rng.uniform(), "ckpt-" + std::to_string(i)});
+  }
+  int with_provider = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Proposal p = strategy.propose(rng);
+    if (p.parent_arch.has_value()) {
+      ++with_provider;
+      EXPECT_FALSE(p.parent_ckpt_key.empty());
+      EXPECT_GE(p.parent_id, 0);
+    }
+  }
+  EXPECT_EQ(with_provider, 20);
+}
+
+TEST(TransferRandomSearchTest, NameEncodesPolicy) {
+  const SearchSpace space = make_mnist_space(8);
+  TransferRandomSearch strategy(space, ProviderPolicy::kBest);
+  EXPECT_EQ(strategy.name(), "random+transfer(best)");
+}
+
+TEST(TransferRandomSearchTest, NearestProviderHasLowMeanDistance) {
+  // With a populated window, nearest-provider selection should find
+  // providers substantially closer than a random pick would.
+  const SearchSpace space = make_mnist_space(8);
+  TransferRandomSearch nearest(space, ProviderPolicy::kNearest);
+  TransferRandomSearch random(space, ProviderPolicy::kRandom);
+  Rng rng(11);
+  for (long i = 0; i < 64; ++i) {
+    const ArchSeq arch = space.random_arch(rng);
+    nearest.report(Outcome{i, arch, 0.5, "k"});
+    random.report(Outcome{i, arch, 0.5, "k"});
+  }
+  double nearest_d = 0.0, random_d = 0.0;
+  constexpr int kTrials = 50;
+  for (int i = 0; i < kTrials; ++i) {
+    const Proposal pn = nearest.propose(rng);
+    const Proposal pr = random.propose(rng);
+    nearest_d += hamming_distance(*pn.parent_arch, pn.arch);
+    random_d += hamming_distance(*pr.parent_arch, pr.arch);
+  }
+  EXPECT_LT(nearest_d / kTrials, random_d / kTrials - 1.0);
+}
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,144 @@
+// Search resumption (resume_nas) and Pareto-front model selection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/analysis.hpp"
+#include "exp/runner.hpp"
+
+namespace swt {
+namespace {
+
+class ResumeFixture : public ::testing::Test {
+ protected:
+  AppConfig app_ = make_app(AppId::kMnist, 19, {.data_scale = 0.25});
+
+  NasRunConfig cfg(TransferMode mode = TransferMode::kLCS) {
+    NasRunConfig c;
+    c.mode = mode;
+    c.n_evals = 16;
+    c.seed = 19;
+    c.cluster.num_workers = 4;
+    c.cluster.fixed_train_seconds = 1.0;
+    c.evolution = {.population_size = 6, .sample_size = 3};
+    return c;
+  }
+};
+
+TEST_F(ResumeFixture, ContinuationAppendsRecords) {
+  NasRun first = run_nas(app_, cfg());
+  const double first_makespan = first.trace.makespan;
+  NasRun resumed = resume_nas(app_, cfg(), std::move(first), 12);
+  EXPECT_EQ(resumed.trace.records.size(), 28u);
+  EXPECT_GT(resumed.trace.makespan, first_makespan);
+}
+
+TEST_F(ResumeFixture, IdsContinueWithoutCollisions) {
+  NasRun first = run_nas(app_, cfg());
+  NasRun resumed = resume_nas(app_, cfg(), std::move(first), 10);
+  std::set<long> ids;
+  for (const auto& r : resumed.trace.records) EXPECT_TRUE(ids.insert(r.id).second) << r.id;
+  EXPECT_EQ(*ids.rbegin(), 25);  // 16 prior + 10 new, 0-based
+}
+
+TEST_F(ResumeFixture, ContinuationRecordsStartAfterPriorClock) {
+  NasRun first = run_nas(app_, cfg());
+  const double origin = first.trace.makespan;
+  NasRun resumed = resume_nas(app_, cfg(), std::move(first), 8);
+  for (std::size_t i = 16; i < resumed.trace.records.size(); ++i)
+    EXPECT_GE(resumed.trace.records[i].virtual_start, origin - 1e-9);
+}
+
+TEST_F(ResumeFixture, StoreIsReusedAndGrows) {
+  NasRun first = run_nas(app_, cfg());
+  const std::size_t before = first.store->count();
+  EXPECT_EQ(before, 16u);
+  NasRun resumed = resume_nas(app_, cfg(), std::move(first), 8);
+  EXPECT_EQ(resumed.store->count(), before + 8);
+}
+
+TEST_F(ResumeFixture, ContinuationCanTransferFromPriorCandidates) {
+  NasRun first = run_nas(app_, cfg());
+  NasRun resumed = resume_nas(app_, cfg(), std::move(first), 12);
+  // With a 6-member replayed population, every continuation proposal is an
+  // evolved child; most should actually inherit weights.
+  int transferred = 0;
+  for (std::size_t i = 16; i < resumed.trace.records.size(); ++i)
+    transferred += resumed.trace.records[i].tensors_transferred > 0;
+  EXPECT_GT(transferred, 6);
+}
+
+TEST_F(ResumeFixture, BaselineResumeWorksWithoutCheckpoints) {
+  NasRun first = run_nas(app_, cfg(TransferMode::kNone));
+  NasRun resumed = resume_nas(app_, cfg(TransferMode::kNone), std::move(first), 8);
+  EXPECT_EQ(resumed.trace.records.size(), 24u);
+  EXPECT_EQ(resumed.store->count(), 0u);
+}
+
+TEST(ParetoFront, EmptyTrace) { EXPECT_TRUE(pareto_front(Trace{}).empty()); }
+
+EvalRecord point(long id, double score, std::int64_t params, int arch_tag) {
+  EvalRecord r;
+  r.id = id;
+  r.score = score;
+  r.param_count = params;
+  r.arch = {arch_tag};
+  return r;
+}
+
+TEST(ParetoFront, KeepsOnlyNonDominated) {
+  Trace trace;
+  trace.records = {
+      point(0, 0.5, 100, 0),  // on the front (smallest)
+      point(1, 0.7, 200, 1),  // on the front
+      point(2, 0.6, 300, 2),  // dominated by id 1 (bigger and worse)
+      point(3, 0.9, 400, 3),  // on the front (best score)
+      point(4, 0.4, 50, 4),   // on the front (smallest model)
+  };
+  const auto front = pareto_front(trace);
+  std::set<long> ids;
+  for (const auto& p : front) ids.insert(p.id);
+  EXPECT_EQ(ids, (std::set<long>{4, 0, 1, 3}));
+  // Sorted by ascending params with strictly increasing score.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LT(front[i - 1].param_count, front[i].param_count);
+    EXPECT_LT(front[i - 1].score, front[i].score);
+  }
+}
+
+TEST(ParetoFront, DeduplicatesByArchKeepingBestScore) {
+  Trace trace;
+  trace.records = {point(0, 0.3, 100, 7), point(1, 0.8, 100, 7)};  // same arch
+  const auto front = pareto_front(trace);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].id, 1);
+  EXPECT_DOUBLE_EQ(front[0].score, 0.8);
+}
+
+TEST(ParetoFront, EqualParamsKeepsBestOnly) {
+  Trace trace;
+  trace.records = {point(0, 0.5, 100, 0), point(1, 0.9, 100, 1)};
+  const auto front = pareto_front(trace);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].id, 1);
+}
+
+TEST(ParetoFront, IntegrationOnRealTrace) {
+  const AppConfig app = make_app(AppId::kMnist, 23, {.data_scale = 0.25});
+  NasRunConfig cfg;
+  cfg.mode = TransferMode::kLCS;
+  cfg.n_evals = 30;
+  cfg.seed = 23;
+  cfg.cluster.num_workers = 4;
+  const NasRun run = run_nas(app, cfg);
+  const auto front = pareto_front(run.trace);
+  ASSERT_FALSE(front.empty());
+  // Front invariants hold against every trace record.
+  for (const auto& p : front)
+    for (const auto& r : run.trace.records)
+      EXPECT_FALSE(r.score > p.score && r.param_count < p.param_count)
+          << "record " << r.id << " dominates front point " << p.id;
+}
+
+}  // namespace
+}  // namespace swt

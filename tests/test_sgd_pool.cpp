@@ -1,0 +1,197 @@
+// Tests for the SGD optimizer and the average-pooling layers (plus their
+// gradients and OpSpec integration).
+#include <gtest/gtest.h>
+
+#include "nas/opspec.hpp"
+#include "nn/dense.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "nn/misc.hpp"
+#include "nn/pool.hpp"
+#include "nn/sgd.hpp"
+
+namespace swt {
+namespace {
+
+TEST(Sgd, PlainStepIsLrTimesGrad) {
+  Tensor w(Shape{1}, {1.0f});
+  Tensor g(Shape{1}, {0.5f});
+  std::vector<ParamRef> refs = {{"w", &w, &g, 0.0f, true}};
+  Sgd sgd({.lr = 0.1, .momentum = 0.0});
+  sgd.step(refs);
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Tensor w(Shape{1}, {0.0f});
+  Tensor g(Shape{1}, {1.0f});
+  std::vector<ParamRef> refs = {{"w", &w, &g, 0.0f, true}};
+  Sgd sgd({.lr = 1.0, .momentum = 0.5});
+  sgd.step(refs);  // v = 1,   w = -1
+  EXPECT_NEAR(w[0], -1.0f, 1e-6);
+  sgd.step(refs);  // v = 1.5, w = -2.5
+  EXPECT_NEAR(w[0], -2.5f, 1e-6);
+}
+
+TEST(Sgd, NesterovLooksAhead) {
+  Tensor w(Shape{1}, {0.0f});
+  Tensor g(Shape{1}, {1.0f});
+  std::vector<ParamRef> refs = {{"w", &w, &g, 0.0f, true}};
+  Sgd sgd({.lr = 1.0, .momentum = 0.5, .nesterov = true});
+  sgd.step(refs);  // v = 1, applied = mu*v + g = 1.5
+  EXPECT_NEAR(w[0], -1.5f, 1e-6);
+}
+
+TEST(Sgd, MinimisesQuadratic) {
+  Tensor w(Shape{1}, {-4.0f});
+  Tensor g(Shape{1});
+  std::vector<ParamRef> refs = {{"w", &w, &g, 0.0f, true}};
+  Sgd sgd({.lr = 0.05, .momentum = 0.9});
+  for (int i = 0; i < 500; ++i) {
+    g[0] = 2.0f * (w[0] - 3.0f);
+    sgd.step(refs);
+  }
+  EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+TEST(Sgd, SkipsNonTrainableAndRespectsDecay) {
+  Tensor w(Shape{1}, {2.0f});
+  Tensor g(Shape{1}, {0.0f});
+  std::vector<ParamRef> frozen = {{"w", &w, &g, 0.0f, false}};
+  Sgd sgd({.lr = 0.5, .momentum = 0.0});
+  sgd.step(frozen);
+  EXPECT_EQ(w[0], 2.0f);
+
+  std::vector<ParamRef> decayed = {{"w", &w, &g, 0.1f, true}};
+  Sgd sgd2({.lr = 0.5, .momentum = 0.0});
+  sgd2.step(decayed);
+  EXPECT_LT(w[0], 2.0f);  // pulled towards zero by L2
+}
+
+TEST(Sgd, ParameterListChangeThrows) {
+  Tensor w(Shape{1}), g(Shape{1});
+  std::vector<ParamRef> refs = {{"w", &w, &g, 0.0f, true}};
+  Sgd sgd;
+  sgd.step(refs);
+  refs.push_back(refs[0]);
+  EXPECT_THROW(sgd.step(refs), std::logic_error);
+}
+
+TEST(AvgPool2DTest, AveragesWindows) {
+  AvgPool2D pool(2, 2);
+  Tensor x(Shape{1, 2, 2, 1}, {1, 2, 3, 4});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPool2DTest, BackwardSpreadsUniformly) {
+  AvgPool2D pool(2, 2);
+  Tensor x(Shape{1, 2, 2, 1}, {1, 2, 3, 4});
+  (void)pool.forward(x, false);
+  Tensor dy(Shape{1, 1, 1, 1}, {4.0f});
+  Tensor dx = pool.backward(dy);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx[i], 1.0f);
+}
+
+TEST(AvgPool1DTest, AveragesAndStrides) {
+  AvgPool1D pool(2, 2);
+  Tensor x(Shape{1, 4, 1}, {1, 3, 5, 7});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 2, 1}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0), 6.0f);
+}
+
+TEST(GlobalAvgPool2DTest, ReducesSpatialDims) {
+  GlobalAvgPool2D pool;
+  Tensor x(Shape{1, 2, 2, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 25.0f);
+}
+
+TEST(GlobalAvgPool2DTest, GradCheckThroughNetwork) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Dense>("d0", 4, 4));  // placeholder, replaced below
+  // Build a conv-free stack exercising global pooling:
+  layers.clear();
+  layers.push_back(std::make_unique<GlobalAvgPool2D>());
+  layers.push_back(std::make_unique<Dense>("head", 3, 2));
+  Sequential net(std::move(layers));
+
+  Rng data_rng(1);
+  Tensor x(Shape{4, 5, 5, 3});
+  x.randn(data_rng, 1.0f);
+  const std::vector<int> labels = {0, 1, 0, 1};
+  Rng init_rng(2);
+  net.init(init_rng);
+  const auto loss_fn = [&] { return softmax_cross_entropy(net.forward1(x, true), labels).loss; };
+  const auto backward_fn = [&] {
+    net.backward(softmax_cross_entropy(net.forward1(x, true), labels).grad);
+  };
+  Rng pick(3);
+  const GradCheckResult r = check_gradients(net, loss_fn, backward_fn, pick);
+  EXPECT_TRUE(r.passed) << r.worst_param << " " << r.max_rel_err;
+}
+
+TEST(AvgPoolGrad, AvgPool2DGradCheck) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Dense>("in", 2, 18));
+  // Reshape trick is unavailable; instead gradcheck an avgpool on conv data:
+  layers.clear();
+  layers.push_back(std::make_unique<AvgPool2D>(2, 2));
+  layers.push_back(std::make_unique<Flatten>());
+  layers.push_back(std::make_unique<Dense>("head", 2 * 2 * 1, 3));
+  Sequential net(std::move(layers));
+
+  Rng data_rng(4);
+  Tensor x(Shape{3, 4, 4, 1});
+  x.randn(data_rng, 1.0f);
+  const std::vector<int> labels = {0, 1, 2};
+  Rng init_rng(5);
+  net.init(init_rng);
+  const auto loss_fn = [&] { return softmax_cross_entropy(net.forward1(x, true), labels).loss; };
+  const auto backward_fn = [&] {
+    net.backward(softmax_cross_entropy(net.forward1(x, true), labels).grad);
+  };
+  Rng pick(6);
+  const GradCheckResult r = check_gradients(net, loss_fn, backward_fn, pick);
+  EXPECT_TRUE(r.passed) << r.worst_param << " " << r.max_rel_err;
+}
+
+TEST(AvgPoolOps, OpSpecInstantiation) {
+  Shape img{6, 6, 3};
+  std::vector<LayerPtr> layers;
+  instantiate_op(OpSpec::avgpool2d(2, 2), "p", img, layers);
+  EXPECT_EQ(img, Shape({3, 3, 3}));
+  ASSERT_EQ(layers.size(), 1u);
+
+  Shape seq{8, 2};
+  layers.clear();
+  instantiate_op(OpSpec::avgpool1d(4, 4), "p", seq, layers);
+  EXPECT_EQ(seq, Shape({2, 2}));
+
+  Shape img2{5, 5, 4};
+  layers.clear();
+  instantiate_op(OpSpec::global_avgpool2d(), "p", img2, layers);
+  EXPECT_EQ(img2, Shape({4}));
+}
+
+TEST(AvgPoolOps, GuardrailDegradesToIdentity) {
+  Shape img{2, 2, 3};
+  std::vector<LayerPtr> layers;
+  instantiate_op(OpSpec::avgpool2d(4, 4), "p", img, layers);
+  EXPECT_TRUE(layers.empty());
+  EXPECT_EQ(img, Shape({2, 2, 3}));
+}
+
+TEST(AvgPoolOps, ToStringCoversNewKinds) {
+  EXPECT_EQ(OpSpec::avgpool2d(2, 2).to_string(), "AvgPool2D(2, s2)");
+  EXPECT_EQ(OpSpec::avgpool1d(3, 1).to_string(), "AvgPool1D(3, s1)");
+  EXPECT_EQ(OpSpec::global_avgpool2d().to_string(), "GlobalAvgPool2D");
+}
+
+}  // namespace
+}  // namespace swt

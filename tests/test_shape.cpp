@@ -1,0 +1,90 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace swt {
+namespace {
+
+TEST(Shape, DefaultIsEmptyScalar) {
+  Shape s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);  // rank-0 = scalar
+}
+
+TEST(Shape, InitializerListAndAccess) {
+  Shape s{3, 4, 5};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 5);
+  EXPECT_EQ(s.numel(), 60);
+  EXPECT_EQ(s.back(), 5);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+  EXPECT_EQ(Shape{}, Shape{});
+}
+
+TEST(Shape, Append) {
+  const Shape s = Shape({2, 3}).append(7);
+  EXPECT_EQ(s, Shape({2, 3, 7}));
+}
+
+TEST(Shape, DropFront) {
+  const Shape s{5, 6, 7};
+  EXPECT_EQ(s.drop_front(), Shape({6, 7}));
+  EXPECT_EQ(s.drop_front(2), Shape({7}));
+  EXPECT_EQ(s.drop_front(3), Shape{});
+  EXPECT_EQ(s.drop_front(10), Shape{});
+}
+
+TEST(Shape, Prepend) {
+  EXPECT_EQ(Shape({3, 4}).prepend(2), Shape({2, 3, 4}));
+  EXPECT_EQ(Shape{}.prepend(5), Shape({5}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({3, 3, 16, 32}).to_string(), "(3, 3, 16, 32)");
+  EXPECT_EQ(Shape({7}).to_string(), "(7)");
+  EXPECT_EQ(Shape{}.to_string(), "()");
+}
+
+TEST(Shape, HashEqualForEqualShapes) {
+  EXPECT_EQ(hash_shape(Shape({2, 3})), hash_shape(Shape({2, 3})));
+}
+
+TEST(Shape, HashDistinguishesPermutationsAndRanks) {
+  std::set<std::uint64_t> hashes;
+  hashes.insert(hash_shape(Shape({2, 3})));
+  hashes.insert(hash_shape(Shape({3, 2})));
+  hashes.insert(hash_shape(Shape({6})));
+  hashes.insert(hash_shape(Shape({1, 2, 3})));
+  hashes.insert(hash_shape(Shape({2, 3, 1})));
+  EXPECT_EQ(hashes.size(), 5u);
+}
+
+class ShapeNumelSweep
+    : public ::testing::TestWithParam<std::pair<std::vector<std::int64_t>, std::int64_t>> {};
+
+TEST_P(ShapeNumelSweep, NumelMatches) {
+  const auto& [dims, expected] = GetParam();
+  EXPECT_EQ(Shape(std::vector<std::int64_t>(dims)).numel(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ShapeNumelSweep,
+    ::testing::Values(std::pair<std::vector<std::int64_t>, std::int64_t>{{1}, 1},
+                      std::pair<std::vector<std::int64_t>, std::int64_t>{{4, 4}, 16},
+                      std::pair<std::vector<std::int64_t>, std::int64_t>{{2, 3, 4}, 24},
+                      std::pair<std::vector<std::int64_t>, std::int64_t>{{8, 8, 3}, 192},
+                      std::pair<std::vector<std::int64_t>, std::int64_t>{{5, 5, 1, 4}, 100},
+                      std::pair<std::vector<std::int64_t>, std::int64_t>{{0, 7}, 0}));
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,168 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace swt {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  // Sample variance: sum((x-6.2)^2)/4 = (27.04+17.64+4.84+3.24+96.04)/4
+  EXPECT_NEAR(rs.variance(), 37.2, 1e-9);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(37.2), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs = {1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-9);
+  EXPECT_THROW((void)geometric_mean(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)geometric_mean(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_THROW((void)median({}), std::invalid_argument);
+}
+
+TEST(KendallTau, PerfectAgreement) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, y), 1.0);
+}
+
+TEST(KendallTau, PerfectDisagreement) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {50, 40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, y), -1.0);
+}
+
+TEST(KendallTau, KnownMixedValue) {
+  // Pairs: (1,2),(1,3),(1,4),(2,3),(2,4),(3,4) in x order with
+  // y = {1, 3, 2, 4}: concordant = 5, discordant = 1 -> tau = 4/6.
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 2, 4};
+  EXPECT_NEAR(kendall_tau(x, y), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTau, TiesCountForNeither) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {5, 5, 6};
+  // Pairs: (1,2): tie in y -> 0; (1,3): concordant; (2,3): concordant.
+  EXPECT_NEAR(kendall_tau(x, y), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTau, InvariantUnderMonotoneTransform) {
+  Rng rng(2);
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(rng.gaussian());
+    y.push_back(rng.gaussian());
+  }
+  const double tau = kendall_tau(x, y);
+  std::vector<double> y2;
+  for (double v : y) y2.push_back(std::exp(v));  // strictly monotone
+  EXPECT_NEAR(kendall_tau(x, y2), tau, 1e-12);
+}
+
+TEST(KendallTau, RejectsBadInput) {
+  EXPECT_THROW((void)kendall_tau(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)kendall_tau(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0}),
+      std::invalid_argument);
+}
+
+TEST(Pearson, PerfectLinear) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroOnConstant) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, 4, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, FormatMeanPm) {
+  EXPECT_EQ(format_mean_pm(0.8234, 0.0161), "0.823 +- 0.016");
+  EXPECT_EQ(format_mean_pm(1.0, 0.5, 1), "1.0 +- 0.5");
+}
+
+/// Property sweep: tau of a noisy monotone relation rises with less noise.
+class TauNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TauNoiseSweep, MoreNoiseLowersTau) {
+  const double noise = GetParam();
+  Rng rng(42);
+  std::vector<double> x, y_clean, y_noisy;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform();
+    x.push_back(v);
+    y_clean.push_back(v);
+    y_noisy.push_back(v + noise * rng.gaussian());
+  }
+  EXPECT_GE(kendall_tau(x, y_clean), kendall_tau(x, y_noisy) - 1e-12);
+  EXPECT_GE(kendall_tau(x, y_noisy), -1.0);
+  EXPECT_LE(kendall_tau(x, y_noisy), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, TauNoiseSweep, ::testing::Values(0.01, 0.1, 0.5, 2.0));
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,154 @@
+#include "nas/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nas/spaces_zoo.hpp"
+
+namespace swt {
+namespace {
+
+class EvolutionFixture : public ::testing::Test {
+ protected:
+  SearchSpace space_ = make_mnist_space(8);
+  RegularizedEvolution::Config cfg_{.population_size = 8, .sample_size = 4};
+
+  Outcome outcome(long id, const ArchSeq& arch, double score) {
+    return Outcome{id, arch, score, "ckpt-" + std::to_string(id)};
+  }
+};
+
+TEST_F(EvolutionFixture, RejectsBadConfig) {
+  EXPECT_THROW(RegularizedEvolution(space_, {.population_size = 4, .sample_size = 5}),
+               std::invalid_argument);
+  EXPECT_THROW(RegularizedEvolution(space_, {.population_size = 0, .sample_size = 0}),
+               std::invalid_argument);
+}
+
+TEST_F(EvolutionFixture, WarmupProposalsHaveNoParent) {
+  RegularizedEvolution strategy(space_, cfg_);
+  Rng rng(1);
+  for (int i = 0; i < cfg_.population_size; ++i) {
+    const Proposal p = strategy.propose(rng);
+    EXPECT_FALSE(p.parent_arch.has_value());
+    EXPECT_TRUE(p.parent_ckpt_key.empty());
+    EXPECT_EQ(p.parent_id, -1);
+    EXPECT_NO_THROW(space_.validate(p.arch));
+  }
+}
+
+TEST_F(EvolutionFixture, EvolvedChildrenAreDistanceOneFromParent) {
+  RegularizedEvolution strategy(space_, cfg_);
+  Rng rng(2);
+  // Fill the population.
+  for (long i = 0; i < cfg_.population_size; ++i) {
+    const Proposal p = strategy.propose(rng);
+    strategy.report(outcome(i, p.arch, rng.uniform()));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const Proposal p = strategy.propose(rng);
+    ASSERT_TRUE(p.parent_arch.has_value());
+    EXPECT_EQ(hamming_distance(*p.parent_arch, p.arch), 1);
+    EXPECT_FALSE(p.parent_ckpt_key.empty());
+    EXPECT_GE(p.parent_id, 0);
+  }
+}
+
+TEST_F(EvolutionFixture, PopulationIsBoundedAndAges) {
+  RegularizedEvolution strategy(space_, cfg_);
+  Rng rng(3);
+  std::vector<ArchSeq> archs;
+  for (long i = 0; i < 20; ++i) {
+    const ArchSeq arch = space_.random_arch(rng);
+    archs.push_back(arch);
+    strategy.report(outcome(i, arch, 0.5));
+    EXPECT_LE(strategy.population_count(),
+              static_cast<std::size_t>(cfg_.population_size));
+  }
+  EXPECT_EQ(strategy.population_count(), static_cast<std::size_t>(cfg_.population_size));
+}
+
+TEST_F(EvolutionFixture, AgingEvictsOldestNotWorst) {
+  RegularizedEvolution strategy(space_, {.population_size = 2, .sample_size = 2});
+  Rng rng(4);
+  const ArchSeq best = space_.random_arch(rng);
+  strategy.report(outcome(0, best, 0.99));  // oldest, best
+  strategy.report(outcome(1, space_.random_arch(rng), 0.10));
+  strategy.report(outcome(2, space_.random_arch(rng), 0.20));
+  // The 0.99 member was pushed out by age despite being the best.  With
+  // S == N == 2 the tournament must now pick the 0.20 member as parent.
+  bool warm = true;
+  for (int i = 0; i < 20; ++i) {
+    const Proposal p = strategy.propose(rng);
+    if (!p.parent_arch.has_value()) continue;  // residual warm-up proposals
+    warm = false;
+    EXPECT_NE(*p.parent_arch, best);
+    EXPECT_EQ(p.parent_id, 2);
+  }
+  EXPECT_FALSE(warm);
+}
+
+TEST_F(EvolutionFixture, TournamentPrefersHighScores) {
+  RegularizedEvolution strategy(space_, {.population_size = 8, .sample_size = 8});
+  Rng rng(5);
+  ArchSeq champion;
+  for (long i = 0; i < 8; ++i) {
+    const Proposal p = strategy.propose(rng);
+    const double score = i == 3 ? 0.9 : 0.1;
+    if (i == 3) champion = p.arch;
+    strategy.report(outcome(i, p.arch, score));
+  }
+  // With S == N, every tournament must select the champion as parent.
+  for (int i = 0; i < 20; ++i) {
+    const Proposal p = strategy.propose(rng);
+    ASSERT_TRUE(p.parent_arch.has_value());
+    EXPECT_EQ(*p.parent_arch, champion);
+  }
+}
+
+TEST_F(EvolutionFixture, NameIsStable) {
+  RegularizedEvolution strategy(space_, cfg_);
+  EXPECT_EQ(strategy.name(), "regularized-evolution");
+}
+
+TEST(RandomSearchTest, ProposalsAreValidAndParentFree) {
+  const SearchSpace space = make_nt3_space(96);
+  RandomSearch strategy(space);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Proposal p = strategy.propose(rng);
+    EXPECT_NO_THROW(space.validate(p.arch));
+    EXPECT_FALSE(p.parent_arch.has_value());
+  }
+  EXPECT_EQ(strategy.name(), "random");
+}
+
+TEST(RandomSearchTest, ProposalsVary) {
+  const SearchSpace space = make_cifar_space(8);
+  RandomSearch strategy(space);
+  Rng rng(7);
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 30; ++i) hashes.insert(arch_hash(strategy.propose(rng).arch));
+  EXPECT_GT(hashes.size(), 25u);
+}
+
+class EvolutionConfigSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(EvolutionConfigSweep, PopulationConvergesToBound) {
+  const auto [n, s] = GetParam();
+  const SearchSpace space = make_mnist_space(8);
+  RegularizedEvolution strategy(space, {.population_size = n, .sample_size = s});
+  Rng rng(8);
+  for (long i = 0; i < 3 * n; ++i) {
+    const Proposal p = strategy.propose(rng);
+    strategy.report(Outcome{i, p.arch, rng.uniform(), "k"});
+  }
+  EXPECT_EQ(strategy.population_count(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EvolutionConfigSweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{4, 2},
+                                           std::pair{16, 8}, std::pair{64, 32}));
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,181 @@
+#include "ckpt/swh5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nas/spaces_zoo.hpp"
+
+namespace swt {
+namespace {
+
+using swh5::Attribute;
+using swh5::Group;
+
+TEST(Swh5Group, CreateAndLookupNestedGroups) {
+  Group root;
+  root.create_group("a/b/c");
+  EXPECT_TRUE(root.has_group("a"));
+  EXPECT_TRUE(root.has_group("a/b"));
+  EXPECT_TRUE(root.has_group("a/b/c"));
+  EXPECT_FALSE(root.has_group("a/c"));
+  EXPECT_NO_THROW((void)root.group("a/b/c"));
+  EXPECT_THROW((void)root.group("missing"), std::out_of_range);
+}
+
+TEST(Swh5Group, CreateGroupIsIdempotent) {
+  Group root;
+  Group& first = root.create_group("x/y");
+  first.set_attr("marker", std::int64_t{7});
+  Group& second = root.create_group("x/y");
+  EXPECT_TRUE(second.has_attr("marker"));
+}
+
+TEST(Swh5Group, DatasetsByPath) {
+  Group root;
+  root.create_group("layer0").create_dataset("W", Tensor(Shape{2, 3}, {1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(root.has_dataset("layer0/W"));
+  EXPECT_FALSE(root.has_dataset("layer0/b"));
+  EXPECT_EQ(root.dataset("layer0/W").shape(), Shape({2, 3}));
+  EXPECT_THROW((void)root.dataset("layer0/b"), std::out_of_range);
+  EXPECT_THROW((void)root.dataset("nope/W"), std::out_of_range);
+}
+
+TEST(Swh5Group, AttributeVariants) {
+  Group root;
+  root.set_attr("int", std::int64_t{-42});
+  root.set_attr("float", 2.5);
+  root.set_attr("string", std::string("hello"));
+  EXPECT_EQ(std::get<std::int64_t>(root.attr("int")), -42);
+  EXPECT_DOUBLE_EQ(std::get<double>(root.attr("float")), 2.5);
+  EXPECT_EQ(std::get<std::string>(root.attr("string")), "hello");
+  EXPECT_THROW((void)root.attr("missing"), std::out_of_range);
+}
+
+TEST(Swh5Group, RejectsBadNames) {
+  Group root;
+  EXPECT_THROW(root.create_dataset("a/b", Tensor(Shape{1})), std::invalid_argument);
+  EXPECT_THROW(root.create_dataset("", Tensor(Shape{1})), std::invalid_argument);
+  EXPECT_THROW(root.set_attr("x/y", 1.0), std::invalid_argument);
+}
+
+TEST(Swh5Group, RecursiveCounts) {
+  Group root;
+  root.create_group("a").create_dataset("d1", Tensor(Shape{4}));
+  root.create_group("a/b").create_dataset("d2", Tensor(Shape{2, 2}));
+  root.create_dataset("top", Tensor(Shape{8}));
+  EXPECT_EQ(root.total_datasets(), 3u);
+  EXPECT_EQ(root.total_payload_bytes(), (4 + 4 + 8) * sizeof(float));
+}
+
+Group sample_tree() {
+  Group root;
+  root.set_attr("version", std::int64_t{1});
+  root.set_attr("note", std::string("sample"));
+  Group& model = root.create_group("model");
+  model.create_group("l0").create_dataset("W", Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  model.create_group("l0").create_dataset("b", Tensor(Shape{2}, {5, 6}));
+  model.create_group("l1").create_dataset("W", Tensor(Shape{2, 1}, {7, 8}));
+  model.group("l1").set_attr("activation", std::string("relu"));
+  return root;
+}
+
+TEST(Swh5Serialize, RoundTripsFullTree) {
+  const Group original = sample_tree();
+  const Group restored = swh5::deserialize(swh5::serialize(original));
+  EXPECT_EQ(restored, original);
+}
+
+TEST(Swh5Serialize, EmptyRootRoundTrips) {
+  EXPECT_EQ(swh5::deserialize(swh5::serialize(Group{})), Group{});
+}
+
+TEST(Swh5Serialize, CorruptionDetected) {
+  auto bytes = swh5::serialize(sample_tree());
+  bytes[bytes.size() / 3] ^= std::byte{0x01};
+  EXPECT_THROW((void)swh5::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Swh5Serialize, TruncationDetected) {
+  auto bytes = swh5::serialize(sample_tree());
+  bytes.resize(bytes.size() - 7);
+  EXPECT_THROW((void)swh5::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Swh5Serialize, BadMagicDetected) {
+  auto bytes = swh5::serialize(sample_tree());
+  bytes[1] ^= std::byte{0xFF};
+  EXPECT_THROW((void)swh5::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Swh5File, SaveAndLoad) {
+  const auto path = std::filesystem::temp_directory_path() / "swtnas_test.swh5";
+  const Group original = sample_tree();
+  swh5::save(path, original);
+  const Group restored = swh5::load(path);
+  EXPECT_EQ(restored, original);
+  std::filesystem::remove(path);
+}
+
+TEST(Swh5File, MissingFileThrows) {
+  EXPECT_THROW((void)swh5::load("/nonexistent/file.swh5"), std::runtime_error);
+}
+
+class CheckpointConversionFixture : public ::testing::Test {
+ protected:
+  Checkpoint make_checkpoint() {
+    const SearchSpace space = make_mnist_space(8);
+    Rng rng(21);
+    const ArchSeq arch = space.random_arch(rng);
+    NetworkPtr net = space.build(arch);
+    net->init(rng);
+    return Checkpoint::from_network(*net, arch, 0.875);
+  }
+};
+
+TEST_F(CheckpointConversionFixture, RoundTripPreservesEverything) {
+  const Checkpoint original = make_checkpoint();
+  const Group tree = swh5::from_checkpoint(original);
+  const Checkpoint restored = swh5::to_checkpoint(tree);
+  EXPECT_EQ(restored.arch, original.arch);
+  EXPECT_DOUBLE_EQ(restored.score, original.score);
+  ASSERT_EQ(restored.tensors.size(), original.tensors.size());
+  for (std::size_t i = 0; i < original.tensors.size(); ++i) {
+    EXPECT_EQ(restored.tensors[i].name, original.tensors[i].name);
+    EXPECT_EQ(restored.tensors[i].value, original.tensors[i].value);
+  }
+}
+
+TEST_F(CheckpointConversionFixture, TensorOrderSurvivesAlphabeticalGroups) {
+  // Map iteration is alphabetical, but the checkpoint's topological order
+  // (which defines the shape sequence!) must survive via the order attr.
+  const Checkpoint original = make_checkpoint();
+  const Checkpoint restored =
+      swh5::to_checkpoint(swh5::deserialize(swh5::serialize(swh5::from_checkpoint(original))));
+  for (std::size_t i = 0; i < original.tensors.size(); ++i)
+    EXPECT_EQ(restored.tensors[i].name, original.tensors[i].name) << i;
+}
+
+TEST_F(CheckpointConversionFixture, LayersBecomeGroups) {
+  const Checkpoint ckpt = make_checkpoint();
+  const Group tree = swh5::from_checkpoint(ckpt);
+  ASSERT_TRUE(tree.has_group("model"));
+  // Every tensor is findable as model/<layer>/<leaf>.
+  for (const auto& t : ckpt.tensors)
+    EXPECT_TRUE(tree.group("model").has_dataset(t.name)) << t.name;
+  EXPECT_EQ(tree.group("model").total_datasets(), ckpt.tensors.size());
+}
+
+TEST_F(CheckpointConversionFixture, FileRoundTripThroughDisk) {
+  const auto path = std::filesystem::temp_directory_path() / "swtnas_ckpt.swh5";
+  const Checkpoint original = make_checkpoint();
+  swh5::save(path, swh5::from_checkpoint(original));
+  const Checkpoint restored = swh5::to_checkpoint(swh5::load(path));
+  EXPECT_EQ(restored.tensors.size(), original.tensors.size());
+  for (std::size_t i = 0; i < original.tensors.size(); ++i)
+    EXPECT_EQ(restored.tensors[i].value, original.tensors[i].value);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,193 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace swt {
+namespace {
+
+TEST(Tensor, ConstructZeroInitialised) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[static_cast<std::size_t>(i)], 0.0f);
+}
+
+TEST(Tensor, ConstructFromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimAccessors) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+  Tensor t3(Shape{2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t3.at(1, 0, 1), 5.0f);
+  Tensor t4(Shape{1, 2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t4.at(0, 1, 1, 0), 6.0f);
+}
+
+TEST(Tensor, FillAndScale) {
+  Tensor t(Shape{4});
+  t.fill(2.0f);
+  t.scale(3.0f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 6.0f);
+}
+
+TEST(Tensor, AddRequiresMatchingShape) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, {10, 20, 30, 40});
+  a.add(b);
+  EXPECT_EQ(a[3], 44.0f);
+  Tensor c(Shape{4});
+  EXPECT_THROW(a.add(c), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapedPreservesDataAndValidates) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW((void)t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, SumSquares) {
+  Tensor t(Shape{3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(t.sum_squares(), 14.0);
+}
+
+TEST(Tensor, RowView) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  auto row = t.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 4.0f);
+  t.row(0)[2] = 99.0f;
+  EXPECT_EQ(t.at(0, 2), 99.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Tensor t(Shape{10000});
+  Rng rng(1);
+  t.randn(rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (float v : t.values()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+  EXPECT_NEAR(sq / 10000.0, 4.0, 0.2);
+}
+
+TEST(Tensor, RandUniformBounds) {
+  Tensor t(Shape{1000});
+  Rng rng(2);
+  t.rand_uniform(rng, -0.5f, 0.5f);
+  for (float v : t.values()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+TEST(Matmul, KnownProduct) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, ValidatesShapes) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 3});
+  EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
+  Tensor v(Shape{3});
+  EXPECT_THROW((void)matmul(a, v), std::invalid_argument);
+}
+
+TEST(Matmul, TnMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a(Shape{4, 3});
+  Tensor b(Shape{4, 5});
+  a.randn(rng, 1.0f);
+  b.randn(rng, 1.0f);
+  // a^T explicit
+  Tensor at(Shape{3, 4});
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  EXPECT_LT(max_abs_diff(matmul_tn(a, b), matmul(at, b)), 1e-5f);
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  Rng rng(4);
+  Tensor a(Shape{4, 3});
+  Tensor b(Shape{5, 3});
+  a.randn(rng, 1.0f);
+  b.randn(rng, 1.0f);
+  Tensor bt(Shape{3, 5});
+  for (std::int64_t i = 0; i < 5; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  EXPECT_LT(max_abs_diff(matmul_nt(a, b), matmul(a, bt)), 1e-5f);
+}
+
+TEST(GatherRows, PicksAndReorders) {
+  Tensor t(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  const std::vector<std::int64_t> idx = {2, 0, 2};
+  Tensor g = gather_rows(t, idx);
+  EXPECT_EQ(g.shape(), Shape({3, 2}));
+  EXPECT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_EQ(g.at(2, 0), 5.0f);
+}
+
+TEST(GatherRows, PreservesInnerShape) {
+  Tensor t(Shape{4, 2, 3});
+  t.fill(1.0f);
+  const std::vector<std::int64_t> idx = {1, 3};
+  EXPECT_EQ(gather_rows(t, idx).shape(), Shape({2, 2, 3}));
+}
+
+TEST(MaxAbsDiff, ZeroForIdentical) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  EXPECT_EQ(max_abs_diff(a, a), 0.0f);
+  Tensor b(Shape{3}, {1, 2.5, 3});
+  EXPECT_EQ(max_abs_diff(a, b), 0.5f);
+  Tensor c(Shape{2});
+  EXPECT_THROW((void)max_abs_diff(a, c), std::invalid_argument);
+}
+
+struct MatmulDims {
+  std::int64_t m, k, n;
+};
+
+class MatmulSweep : public ::testing::TestWithParam<MatmulDims> {};
+
+TEST_P(MatmulSweep, MatchesNaiveTripleLoop) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  Tensor a(Shape{m, k});
+  Tensor b(Shape{k, n});
+  a.randn(rng, 1.0f);
+  b.randn(rng, 1.0f);
+  Tensor expected(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      expected.at(i, j) = acc;
+    }
+  EXPECT_LT(max_abs_diff(matmul(a, b), expected), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MatmulSweep,
+                         ::testing::Values(MatmulDims{1, 1, 1}, MatmulDims{1, 5, 3},
+                                           MatmulDims{7, 1, 2}, MatmulDims{4, 4, 4},
+                                           MatmulDims{16, 8, 32}, MatmulDims{3, 17, 5}));
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,99 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace swt {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { ++hits[i]; }, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, &pool);
+}
+
+TEST(ParallelFor, SingleIteration) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  }, &pool);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(16, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, &pool);
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // single-thread pool executes in order
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long> partial(2048, 0);
+  parallel_for(2048, [&](std::size_t i) { partial[i] = static_cast<long>(i) * 3; }, &pool);
+  long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 3L * 2048 * 2047 / 2);
+}
+
+class ParallelForSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForSizes, AllIndicesVisited) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(3);
+  std::atomic<std::size_t> visited{0};
+  parallel_for(n, [&](std::size_t) { ++visited; }, &pool);
+  EXPECT_EQ(visited.load(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelForSizes,
+                         ::testing::Values(1, 2, 3, 7, 8, 63, 64, 65, 513));
+
+}  // namespace
+}  // namespace swt

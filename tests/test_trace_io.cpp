@@ -1,0 +1,114 @@
+#include "exp/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "exp/runner.hpp"
+
+namespace swt {
+namespace {
+
+Trace sample_trace() {
+  const AppConfig app = make_app(AppId::kMnist, 9, {.data_scale = 0.2});
+  NasRunConfig cfg;
+  cfg.mode = TransferMode::kLCS;
+  cfg.n_evals = 12;
+  cfg.seed = 9;
+  cfg.cluster.num_workers = 3;
+  cfg.cluster.fixed_train_seconds = 1.0;
+  cfg.evolution = {.population_size = 4, .sample_size = 2};
+  return run_nas(app, cfg).trace;
+}
+
+TEST(TraceIo, RoundTripsThroughStream) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_trace_csv(ss, original);
+  const Trace restored = read_trace_csv(ss);
+
+  EXPECT_EQ(restored.num_workers, original.num_workers);
+  EXPECT_NEAR(restored.makespan, original.makespan, 1e-9);
+  ASSERT_EQ(restored.records.size(), original.records.size());
+  for (std::size_t i = 0; i < original.records.size(); ++i) {
+    const auto& a = original.records[i];
+    const auto& b = restored.records[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+    EXPECT_EQ(a.parent_id, b.parent_id);
+    EXPECT_EQ(a.ckpt_key, b.ckpt_key);
+    EXPECT_EQ(a.param_count, b.param_count);
+    EXPECT_EQ(a.tensors_transferred, b.tensors_transferred);
+    EXPECT_EQ(a.values_transferred, b.values_transferred);
+    EXPECT_DOUBLE_EQ(a.train_seconds, b.train_seconds);
+    EXPECT_DOUBLE_EQ(a.ckpt_read_cost, b.ckpt_read_cost);
+    EXPECT_DOUBLE_EQ(a.ckpt_write_cost, b.ckpt_write_cost);
+    EXPECT_EQ(a.ckpt_bytes, b.ckpt_bytes);
+    EXPECT_DOUBLE_EQ(a.virtual_start, b.virtual_start);
+    EXPECT_DOUBLE_EQ(a.virtual_finish, b.virtual_finish);
+    EXPECT_EQ(a.worker, b.worker);
+  }
+}
+
+TEST(TraceIo, RoundTripsThroughFile) {
+  const Trace original = sample_trace();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "swtnas_trace_test.csv").string();
+  write_trace_csv(path, original);
+  const Trace restored = read_trace_csv(path);
+  EXPECT_EQ(restored.records.size(), original.records.size());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, TopKWorksOnRestoredTrace) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_trace_csv(ss, original);
+  const Trace restored = read_trace_csv(ss);
+  const auto top_orig = top_k(original, 3);
+  const auto top_rest = top_k(restored, 3);
+  ASSERT_EQ(top_orig.size(), top_rest.size());
+  for (std::size_t i = 0; i < top_orig.size(); ++i) {
+    EXPECT_EQ(top_orig[i].arch, top_rest[i].arch);
+    EXPECT_DOUBLE_EQ(top_orig[i].score, top_rest[i].score);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.num_workers = 5;
+  std::stringstream ss;
+  write_trace_csv(ss, empty);
+  const Trace restored = read_trace_csv(ss);
+  EXPECT_TRUE(restored.records.empty());
+  EXPECT_EQ(restored.num_workers, 5);
+}
+
+TEST(TraceIo, RejectsMissingPreamble) {
+  std::stringstream ss("id,arch\n1,2\n");
+  EXPECT_THROW((void)read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongHeader) {
+  std::stringstream ss("# swtnas trace, num_workers=1, makespan=0\nwrong,header\n");
+  EXPECT_THROW((void)read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsShortRows) {
+  std::stringstream out;
+  write_trace_csv(out, Trace{});
+  std::string text = out.str();
+  text += "1,2,3\n";
+  std::stringstream in(text);
+  EXPECT_THROW((void)read_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_csv(std::string("/nonexistent/trace.csv")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swt

@@ -1,0 +1,214 @@
+#include "core/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nas/spaces_zoo.hpp"
+
+namespace swt {
+namespace {
+
+class TransferFixture : public ::testing::Test {
+ protected:
+  SearchSpace space_ = make_mnist_space(8);
+
+  Checkpoint trained_checkpoint(const ArchSeq& arch, std::uint64_t seed) {
+    NetworkPtr net = space_.build(arch);
+    Rng rng(seed);
+    net->init(rng);
+    // Perturb weights so they differ from any fresh init.
+    for (auto& p : net->params())
+      for (float& v : p.value->values()) v += 0.123f;
+    return Checkpoint::from_network(*net, arch, 0.5);
+  }
+};
+
+TEST_F(TransferFixture, IdenticalArchIsExactResume) {
+  // The paper's extreme case (Section III): for identical models, transfer
+  // is equivalent to resuming training — every tensor must be bit-copied.
+  Rng rng(1);
+  const ArchSeq arch = space_.random_arch(rng);
+  const Checkpoint provider = trained_checkpoint(arch, 2);
+
+  for (TransferMode mode : {TransferMode::kLP, TransferMode::kLCS}) {
+    NetworkPtr receiver = space_.build(arch);
+    Rng init_rng(99);
+    receiver->init(init_rng);
+    const TransferStats stats = apply_transfer(provider, *receiver, mode);
+    EXPECT_EQ(stats.tensors_transferred, provider.tensors.size());
+    const auto params = receiver->params();
+    for (std::size_t i = 0; i < params.size(); ++i)
+      EXPECT_EQ(*params[i].value, provider.tensors[i].value)
+          << to_string(mode) << " " << params[i].name;
+  }
+}
+
+TEST_F(TransferFixture, NoneModeTouchesNothing) {
+  Rng rng(2);
+  const ArchSeq arch = space_.random_arch(rng);
+  const Checkpoint provider = trained_checkpoint(arch, 3);
+  NetworkPtr receiver = space_.build(arch);
+  Rng init_rng(50);
+  receiver->init(init_rng);
+  // Snapshot initial weights.
+  std::vector<Tensor> before;
+  for (auto& p : receiver->params()) before.push_back(*p.value);
+  const TransferStats stats = apply_transfer(provider, *receiver, TransferMode::kNone);
+  EXPECT_EQ(stats.tensors_transferred, 0u);
+  EXPECT_EQ(stats.values_transferred, 0u);
+  const auto params = receiver->params();
+  for (std::size_t i = 0; i < params.size(); ++i) EXPECT_EQ(*params[i].value, before[i]);
+}
+
+TEST_F(TransferFixture, UnmatchedTensorsKeepRandomInit) {
+  Rng rng(3);
+  const ArchSeq parent = space_.random_arch(rng);
+  // Mutate until the signature sequences actually diverge somewhere.
+  ArchSeq child = parent;
+  MatchPairs lcs;
+  LayerGrouping child_groups;
+  for (int tries = 0; tries < 200; ++tries) {
+    child = space_.mutate(child, rng);
+    NetworkPtr pn = space_.build(parent);
+    NetworkPtr cn = space_.build(child);
+    const SigSeq pseq = signature_sequence(*pn);
+    child_groups = group_layers(*cn);
+    lcs = lcs_match(pseq, child_groups.signatures);
+    if (!lcs.empty() && lcs.size() < child_groups.signatures.size()) break;
+  }
+  ASSERT_FALSE(lcs.empty());
+  ASSERT_LT(lcs.size(), child_groups.signatures.size());
+
+  const Checkpoint provider = trained_checkpoint(parent, 4);
+  NetworkPtr receiver = space_.build(child);
+  Rng init_rng(60);
+  receiver->init(init_rng);
+  std::vector<Tensor> before;
+  for (auto& p : receiver->params()) before.push_back(*p.value);
+
+  const TransferStats stats = apply_transfer(provider, *receiver, TransferMode::kLCS);
+  EXPECT_EQ(stats.layers_matched, lcs.size());
+
+  // Tensor indices covered by matched receiver layers.
+  std::vector<bool> matched(before.size(), false);
+  std::size_t matched_tensors = 0;
+  for (const auto& [pi, ri] : lcs)
+    for (std::size_t idx : child_groups.members[ri]) {
+      matched[idx] = true;
+      ++matched_tensors;
+    }
+  EXPECT_EQ(stats.tensors_transferred, matched_tensors);
+  const auto params = receiver->params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (matched[i])
+      EXPECT_NE(*params[i].value, before[i]) << params[i].name << " should be overwritten";
+    else
+      EXPECT_EQ(*params[i].value, before[i]) << params[i].name << " must keep its init";
+  }
+}
+
+TEST_F(TransferFixture, StatsCountValuesCorrectly) {
+  Rng rng(5);
+  const ArchSeq arch = space_.random_arch(rng);
+  const Checkpoint provider = trained_checkpoint(arch, 6);
+  NetworkPtr receiver = space_.build(arch);
+  Rng init_rng(70);
+  receiver->init(init_rng);
+  const TransferStats stats = apply_transfer(provider, *receiver, TransferMode::kLCS);
+  EXPECT_EQ(static_cast<std::int64_t>(stats.values_transferred), receiver->param_count());
+  EXPECT_EQ(stats.provider_layers, stats.receiver_layers);
+  EXPECT_EQ(stats.layers_matched, stats.receiver_layers);
+  EXPECT_EQ(stats.tensors_transferred, provider.tensors.size());
+  EXPECT_TRUE(stats.any());
+}
+
+TEST_F(TransferFixture, TransferableLayersAgreesWithMatchers) {
+  Rng rng(7);
+  const ArchSeq a = space_.random_arch(rng);
+  const ArchSeq b = space_.random_arch(rng);
+  NetworkPtr na = space_.build(a);
+  NetworkPtr nb = space_.build(b);
+  const SigSeq sa = signature_sequence(*na);
+  const SigSeq sb = signature_sequence(*nb);
+  EXPECT_EQ(transferable_layers(sa, sb, TransferMode::kLP), lp_match(sa, sb).size());
+  EXPECT_EQ(transferable_layers(sa, sb, TransferMode::kLCS), lcs_match(sa, sb).size());
+  EXPECT_EQ(transferable_layers(sa, sb, TransferMode::kNone), 0u);
+}
+
+TEST_F(TransferFixture, GroupingBundlesKernelWithBias) {
+  Rng rng(9);
+  NetworkPtr net = space_.build(space_.random_arch(rng));
+  const LayerGrouping g = group_layers(*net);
+  const auto params = net->params();
+  std::size_t covered = 0;
+  for (std::size_t l = 0; l < g.members.size(); ++l) {
+    EXPECT_FALSE(g.members[l].empty());
+    EXPECT_EQ(g.members[l].size(), g.signatures[l].size());
+    for (std::size_t k = 0; k < g.members[l].size(); ++k) {
+      EXPECT_EQ(params[g.members[l][k]].value->shape(), g.signatures[l][k]);
+      EXPECT_TRUE(params[g.members[l][k]].name.starts_with(g.prefixes[l]));
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, params.size());
+}
+
+TEST_F(TransferFixture, ShapeSequenceOfCheckpointMatchesNetwork) {
+  Rng rng(8);
+  const ArchSeq arch = space_.random_arch(rng);
+  NetworkPtr net = space_.build(arch);
+  Rng init_rng(80);
+  net->init(init_rng);
+  const Checkpoint ckpt = Checkpoint::from_network(*net, arch, 0.0);
+  EXPECT_EQ(shape_sequence(ckpt), shape_sequence(*net));
+}
+
+TEST(ShareAnyShape, BasicCases) {
+  const ShapeSeq a = {Shape{2, 3}, Shape{4}};
+  const ShapeSeq b = {Shape{9}, Shape{2, 3}};
+  const ShapeSeq c = {Shape{9}, Shape{3, 2}};
+  EXPECT_TRUE(share_any_shape(a, b));
+  EXPECT_FALSE(share_any_shape(a, c));
+  EXPECT_FALSE(share_any_shape({}, a));
+  EXPECT_FALSE(share_any_shape(a, {}));
+}
+
+TEST(ShareAnyShape, OrderInsensitive) {
+  const ShapeSeq a = {Shape{1}, Shape{2}};
+  const ShapeSeq b = {Shape{2}, Shape{3}};
+  EXPECT_TRUE(share_any_shape(a, b));
+  EXPECT_TRUE(share_any_shape(b, a));
+}
+
+/// d=1 mutations in every space are overwhelmingly transferable by LCS —
+/// the property the paper's provider selection relies on (Section V).
+class MutationTransferSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationTransferSweep, ParentChildSharesTensors) {
+  const SearchSpace space = [&] {
+    switch (GetParam()) {
+      case 0: return make_cifar_space(8);
+      case 1: return make_mnist_space(8);
+      case 2: return make_nt3_space(96);
+      default: return make_uno_space();
+    }
+  }();
+  Rng rng(42);
+  int transferable = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    const ArchSeq parent = space.random_arch(rng);
+    const ArchSeq child = space.mutate(parent, rng);
+    EXPECT_EQ(hamming_distance(parent, child), 1);
+    NetworkPtr pn = space.build(parent);
+    NetworkPtr cn = space.build(child);
+    if (transferable_layers(signature_sequence(*pn), signature_sequence(*cn),
+                            TransferMode::kLCS) > 0)
+      ++transferable;
+  }
+  EXPECT_GE(transferable, kTrials * 8 / 10) << space.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Spaces, MutationTransferSweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace swt
