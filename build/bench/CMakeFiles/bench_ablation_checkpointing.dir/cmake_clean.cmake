@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checkpointing.dir/bench_ablation_checkpointing.cpp.o"
+  "CMakeFiles/bench_ablation_checkpointing.dir/bench_ablation_checkpointing.cpp.o.d"
+  "bench_ablation_checkpointing"
+  "bench_ablation_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

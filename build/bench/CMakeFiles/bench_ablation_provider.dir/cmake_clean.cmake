@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_provider.dir/bench_ablation_provider.cpp.o"
+  "CMakeFiles/bench_ablation_provider.dir/bench_ablation_provider.cpp.o.d"
+  "bench_ablation_provider"
+  "bench_ablation_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

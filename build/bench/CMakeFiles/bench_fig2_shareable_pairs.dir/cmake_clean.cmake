@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_shareable_pairs.dir/bench_fig2_shareable_pairs.cpp.o"
+  "CMakeFiles/bench_fig2_shareable_pairs.dir/bench_fig2_shareable_pairs.cpp.o.d"
+  "bench_fig2_shareable_pairs"
+  "bench_fig2_shareable_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_shareable_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

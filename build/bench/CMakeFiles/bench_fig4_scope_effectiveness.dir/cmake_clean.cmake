@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scope_effectiveness.dir/bench_fig4_scope_effectiveness.cpp.o"
+  "CMakeFiles/bench_fig4_scope_effectiveness.dir/bench_fig4_scope_effectiveness.cpp.o.d"
+  "bench_fig4_scope_effectiveness"
+  "bench_fig4_scope_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scope_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_distance_effect.dir/bench_fig5_distance_effect.cpp.o"
+  "CMakeFiles/bench_fig5_distance_effect.dir/bench_fig5_distance_effect.cpp.o.d"
+  "bench_fig5_distance_effect"
+  "bench_fig5_distance_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_distance_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

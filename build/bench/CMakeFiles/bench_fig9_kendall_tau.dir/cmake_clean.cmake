@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_kendall_tau.dir/bench_fig9_kendall_tau.cpp.o"
+  "CMakeFiles/bench_fig9_kendall_tau.dir/bench_fig9_kendall_tau.cpp.o.d"
+  "bench_fig9_kendall_tau"
+  "bench_fig9_kendall_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_kendall_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

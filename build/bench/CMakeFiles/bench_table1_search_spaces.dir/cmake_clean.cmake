@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_search_spaces.dir/bench_table1_search_spaces.cpp.o"
+  "CMakeFiles/bench_table1_search_spaces.dir/bench_table1_search_spaces.cpp.o.d"
+  "bench_table1_search_spaces"
+  "bench_table1_search_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_search_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancer_nt3.dir/cancer_nt3.cpp.o"
+  "CMakeFiles/cancer_nt3.dir/cancer_nt3.cpp.o.d"
+  "cancer_nt3"
+  "cancer_nt3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancer_nt3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

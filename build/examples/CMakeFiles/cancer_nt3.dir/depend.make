@@ -1,0 +1,2 @@
+# Empty dependencies file for cancer_nt3.
+# This may be replaced when dependencies are built.

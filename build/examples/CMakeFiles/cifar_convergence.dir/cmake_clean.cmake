@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_convergence.dir/cifar_convergence.cpp.o"
+  "CMakeFiles/cifar_convergence.dir/cifar_convergence.cpp.o.d"
+  "cifar_convergence"
+  "cifar_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

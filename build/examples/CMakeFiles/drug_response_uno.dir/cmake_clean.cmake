@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_response_uno.dir/drug_response_uno.cpp.o"
+  "CMakeFiles/drug_response_uno.dir/drug_response_uno.cpp.o.d"
+  "drug_response_uno"
+  "drug_response_uno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_response_uno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

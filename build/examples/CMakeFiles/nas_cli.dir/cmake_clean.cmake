@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_cli.dir/nas_cli.cpp.o"
+  "CMakeFiles/nas_cli.dir/nas_cli.cpp.o.d"
+  "nas_cli"
+  "nas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

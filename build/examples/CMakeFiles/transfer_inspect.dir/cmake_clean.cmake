@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_inspect.dir/transfer_inspect.cpp.o"
+  "CMakeFiles/transfer_inspect.dir/transfer_inspect.cpp.o.d"
+  "transfer_inspect"
+  "transfer_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/checkpoint.cpp" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/checkpoint.cpp.o" "gcc" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ckpt/compress.cpp" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/compress.cpp.o" "gcc" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/compress.cpp.o.d"
+  "/root/repo/src/ckpt/store.cpp" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/store.cpp.o" "gcc" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/store.cpp.o.d"
+  "/root/repo/src/ckpt/swh5.cpp" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/swh5.cpp.o" "gcc" "src/ckpt/CMakeFiles/swtnas_ckpt.dir/swh5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/swtnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/swtnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swtnas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/swtnas_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

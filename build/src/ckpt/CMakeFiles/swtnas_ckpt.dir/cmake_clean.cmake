@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/swtnas_ckpt.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/swtnas_ckpt.dir/compress.cpp.o"
+  "CMakeFiles/swtnas_ckpt.dir/compress.cpp.o.d"
+  "CMakeFiles/swtnas_ckpt.dir/store.cpp.o"
+  "CMakeFiles/swtnas_ckpt.dir/store.cpp.o.d"
+  "CMakeFiles/swtnas_ckpt.dir/swh5.cpp.o"
+  "CMakeFiles/swtnas_ckpt.dir/swh5.cpp.o.d"
+  "libswtnas_ckpt.a"
+  "libswtnas_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswtnas_ckpt.a"
+)

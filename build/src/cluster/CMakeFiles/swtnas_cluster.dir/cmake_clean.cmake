@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_cluster.dir/evaluator.cpp.o"
+  "CMakeFiles/swtnas_cluster.dir/evaluator.cpp.o.d"
+  "CMakeFiles/swtnas_cluster.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/swtnas_cluster.dir/virtual_cluster.cpp.o.d"
+  "libswtnas_cluster.a"
+  "libswtnas_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_common.dir/log.cpp.o"
+  "CMakeFiles/swtnas_common.dir/log.cpp.o.d"
+  "CMakeFiles/swtnas_common.dir/rng.cpp.o"
+  "CMakeFiles/swtnas_common.dir/rng.cpp.o.d"
+  "CMakeFiles/swtnas_common.dir/stats.cpp.o"
+  "CMakeFiles/swtnas_common.dir/stats.cpp.o.d"
+  "CMakeFiles/swtnas_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/swtnas_common.dir/thread_pool.cpp.o.d"
+  "libswtnas_common.a"
+  "libswtnas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

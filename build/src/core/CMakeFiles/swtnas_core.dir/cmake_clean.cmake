@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_core.dir/match.cpp.o"
+  "CMakeFiles/swtnas_core.dir/match.cpp.o.d"
+  "CMakeFiles/swtnas_core.dir/shape_seq.cpp.o"
+  "CMakeFiles/swtnas_core.dir/shape_seq.cpp.o.d"
+  "CMakeFiles/swtnas_core.dir/transfer.cpp.o"
+  "CMakeFiles/swtnas_core.dir/transfer.cpp.o.d"
+  "libswtnas_core.a"
+  "libswtnas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_data.dir/dataset.cpp.o"
+  "CMakeFiles/swtnas_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/swtnas_data.dir/generators.cpp.o"
+  "CMakeFiles/swtnas_data.dir/generators.cpp.o.d"
+  "libswtnas_data.a"
+  "libswtnas_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_exp.dir/analysis.cpp.o"
+  "CMakeFiles/swtnas_exp.dir/analysis.cpp.o.d"
+  "CMakeFiles/swtnas_exp.dir/apps.cpp.o"
+  "CMakeFiles/swtnas_exp.dir/apps.cpp.o.d"
+  "CMakeFiles/swtnas_exp.dir/pair_study.cpp.o"
+  "CMakeFiles/swtnas_exp.dir/pair_study.cpp.o.d"
+  "CMakeFiles/swtnas_exp.dir/report.cpp.o"
+  "CMakeFiles/swtnas_exp.dir/report.cpp.o.d"
+  "CMakeFiles/swtnas_exp.dir/runner.cpp.o"
+  "CMakeFiles/swtnas_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/swtnas_exp.dir/trace_io.cpp.o"
+  "CMakeFiles/swtnas_exp.dir/trace_io.cpp.o.d"
+  "libswtnas_exp.a"
+  "libswtnas_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/opspec.cpp" "src/nas/CMakeFiles/swtnas_nas.dir/opspec.cpp.o" "gcc" "src/nas/CMakeFiles/swtnas_nas.dir/opspec.cpp.o.d"
+  "/root/repo/src/nas/provider_selector.cpp" "src/nas/CMakeFiles/swtnas_nas.dir/provider_selector.cpp.o" "gcc" "src/nas/CMakeFiles/swtnas_nas.dir/provider_selector.cpp.o.d"
+  "/root/repo/src/nas/search_space.cpp" "src/nas/CMakeFiles/swtnas_nas.dir/search_space.cpp.o" "gcc" "src/nas/CMakeFiles/swtnas_nas.dir/search_space.cpp.o.d"
+  "/root/repo/src/nas/spaces_zoo.cpp" "src/nas/CMakeFiles/swtnas_nas.dir/spaces_zoo.cpp.o" "gcc" "src/nas/CMakeFiles/swtnas_nas.dir/spaces_zoo.cpp.o.d"
+  "/root/repo/src/nas/strategy.cpp" "src/nas/CMakeFiles/swtnas_nas.dir/strategy.cpp.o" "gcc" "src/nas/CMakeFiles/swtnas_nas.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/swtnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swtnas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/swtnas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/swtnas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

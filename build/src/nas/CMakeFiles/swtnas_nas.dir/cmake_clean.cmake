@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_nas.dir/opspec.cpp.o"
+  "CMakeFiles/swtnas_nas.dir/opspec.cpp.o.d"
+  "CMakeFiles/swtnas_nas.dir/provider_selector.cpp.o"
+  "CMakeFiles/swtnas_nas.dir/provider_selector.cpp.o.d"
+  "CMakeFiles/swtnas_nas.dir/search_space.cpp.o"
+  "CMakeFiles/swtnas_nas.dir/search_space.cpp.o.d"
+  "CMakeFiles/swtnas_nas.dir/spaces_zoo.cpp.o"
+  "CMakeFiles/swtnas_nas.dir/spaces_zoo.cpp.o.d"
+  "CMakeFiles/swtnas_nas.dir/strategy.cpp.o"
+  "CMakeFiles/swtnas_nas.dir/strategy.cpp.o.d"
+  "libswtnas_nas.a"
+  "libswtnas_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

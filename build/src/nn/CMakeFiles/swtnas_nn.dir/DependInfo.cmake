@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/misc.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/misc.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/misc.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/sgd.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/swtnas_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/swtnas_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/swtnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swtnas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/swtnas_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

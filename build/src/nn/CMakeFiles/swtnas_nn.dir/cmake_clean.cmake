@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_nn.dir/adam.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/conv.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/dense.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/loss.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/misc.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/misc.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/network.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/network.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/pool.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/sgd.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/sgd.cpp.o.d"
+  "CMakeFiles/swtnas_nn.dir/trainer.cpp.o"
+  "CMakeFiles/swtnas_nn.dir/trainer.cpp.o.d"
+  "libswtnas_nn.a"
+  "libswtnas_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swtnas_tensor.dir/shape.cpp.o"
+  "CMakeFiles/swtnas_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/swtnas_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/swtnas_tensor.dir/tensor.cpp.o.d"
+  "libswtnas_tensor.a"
+  "libswtnas_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swtnas_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

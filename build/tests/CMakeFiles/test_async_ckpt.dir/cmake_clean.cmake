@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_ckpt.dir/test_async_ckpt.cpp.o"
+  "CMakeFiles/test_async_ckpt.dir/test_async_ckpt.cpp.o.d"
+  "test_async_ckpt"
+  "test_async_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/test_cluster.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/test_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/swtnas_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/swtnas_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/swtnas_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swtnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/swtnas_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/swtnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/swtnas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/swtnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swtnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

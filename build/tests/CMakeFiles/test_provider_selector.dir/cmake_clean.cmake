@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provider_selector.dir/test_provider_selector.cpp.o"
+  "CMakeFiles/test_provider_selector.dir/test_provider_selector.cpp.o.d"
+  "test_provider_selector"
+  "test_provider_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provider_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgd_pool.dir/test_sgd_pool.cpp.o"
+  "CMakeFiles/test_sgd_pool.dir/test_sgd_pool.cpp.o.d"
+  "test_sgd_pool"
+  "test_sgd_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgd_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swh5.dir/test_swh5.cpp.o"
+  "CMakeFiles/test_swh5.dir/test_swh5.cpp.o.d"
+  "test_swh5"
+  "test_swh5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swh5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
