@@ -24,7 +24,19 @@ using namespace swt;
             << " [--app cifar|mnist|nt3|uno] [--mode baseline|lp|lcs]\n"
                "       [--evals N] [--workers N] [--seed N] [--population N]\n"
                "       [--sample N] [--out trace.csv] [--async-ckpt]\n"
-               "       [--compress none|fp16|quant8]\n";
+               "       [--compress none|fp16|quant8]\n"
+               "       [--mtbf S] [--straggler-rate P] [--straggler-mult M]\n"
+               "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
+               "\n"
+               "fault injection (all off by default; see DESIGN.md):\n"
+               "  --mtbf S            mean virtual seconds of compute between worker\n"
+               "                      crashes (crashed evals are resubmitted)\n"
+               "  --straggler-rate P  probability an evaluation lands on a straggler\n"
+               "  --straggler-mult M  compute slowdown on straggler nodes (default 4)\n"
+               "  --ckpt-fault-rate P per-try PFS read/write failure probability\n"
+               "                      (retried with exponential backoff)\n"
+               "  --recovery S        crashed-worker recovery time (default 30)\n"
+               "  --max-attempts N    tries per proposal before it counts lost (default 3)\n";
   std::exit(2);
 }
 
@@ -52,7 +64,7 @@ CompressionKind parse_compression(const std::string& name, const char* argv0) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   AppId app_id = AppId::kMnist;
   NasRunConfig cfg;
   cfg.mode = TransferMode::kLCS;
@@ -79,6 +91,17 @@ int main(int argc, char** argv) {
     else if (arg == "--out") out_path = next();
     else if (arg == "--async-ckpt") cfg.cluster.async_checkpointing = true;
     else if (arg == "--compress") compression = parse_compression(next(), argv[0]);
+    else if (arg == "--mtbf") cfg.cluster.faults.mtbf_seconds = std::stod(next());
+    else if (arg == "--straggler-rate") cfg.cluster.faults.straggler_rate = std::stod(next());
+    else if (arg == "--straggler-mult")
+      cfg.cluster.faults.straggler_multiplier = std::stod(next());
+    else if (arg == "--ckpt-fault-rate") {
+      const double rate = std::stod(next());
+      cfg.cluster.faults.ckpt_read_fault_rate = rate;
+      cfg.cluster.faults.ckpt_write_fault_rate = rate;
+    }
+    else if (arg == "--recovery") cfg.cluster.faults.worker_recovery_s = std::stod(next());
+    else if (arg == "--max-attempts") cfg.cluster.faults.max_attempts = std::stoi(next());
     else usage(argv[0]);
   }
 
@@ -105,10 +128,16 @@ int main(int argc, char** argv) {
             << TableReport::cell(run.trace.total_ckpt_overhead(), 2) << " virtual s\n"
             << "checkpoints stored  : " << run.store->count() << " ("
             << run.store->total_bytes_written() / 1024 << " KiB written)\n";
+  print_failure_summary(std::cout, run.trace);
 
   if (!out_path.empty()) {
     write_trace_csv(out_path, run.trace);
     std::cout << "trace written to " << out_path << "\n";
   }
   return 0;
+} catch (const std::exception& e) {
+  // Config validation (fault rates, worker counts, ...) throws; report it
+  // as a CLI error instead of aborting through std::terminate.
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

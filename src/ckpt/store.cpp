@@ -37,30 +37,49 @@ IoStats CheckpointStore::put(const std::string& key, const Checkpoint& ckpt) {
   return stats;
 }
 
-std::pair<Checkpoint, IoStats> CheckpointStore::get(const std::string& key) const {
-  std::vector<std::byte> bytes;
-  {
-    std::scoped_lock lock(mutex_);
-    if (backend_ == Backend::kMemory) {
-      auto it = memory_.find(key);
-      if (it == memory_.end())
-        throw std::out_of_range("CheckpointStore: unknown key " + key);
-      bytes = it->second;
-    } else {
-      auto it = disk_sizes_.find(key);
-      if (it == disk_sizes_.end())
-        throw std::out_of_range("CheckpointStore: unknown key " + key);
-      std::ifstream in(path_for(key), std::ios::binary);
-      if (!in) throw std::runtime_error("CheckpointStore: cannot open " + key + " for read");
-      bytes.resize(it->second);
-      in.read(reinterpret_cast<char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-      if (static_cast<std::size_t>(in.gcount()) != bytes.size())
-        throw std::runtime_error("CheckpointStore: short read for " + key);
-    }
+std::optional<std::vector<std::byte>> CheckpointStore::read_bytes(
+    const std::string& key) const {
+  std::scoped_lock lock(mutex_);
+  if (backend_ == Backend::kMemory) {
+    auto it = memory_.find(key);
+    if (it == memory_.end()) return std::nullopt;
+    return it->second;
   }
-  IoStats stats{bytes.size(), model_.read_cost(bytes.size())};
-  return {deserialize(bytes), stats};
+  auto it = disk_sizes_.find(key);
+  if (it == disk_sizes_.end()) return std::nullopt;
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) throw std::runtime_error("CheckpointStore: cannot open " + key + " for read");
+  std::vector<std::byte> bytes(it->second);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<std::size_t>(in.gcount()) != bytes.size())
+    throw std::runtime_error("CheckpointStore: short read for " + key);
+  return bytes;
+}
+
+std::pair<Checkpoint, IoStats> CheckpointStore::get(const std::string& key) const {
+  std::optional<std::vector<std::byte>> bytes = read_bytes(key);
+  if (!bytes.has_value())
+    throw std::out_of_range("CheckpointStore: unknown key " + key);
+  IoStats stats{bytes->size(), model_.read_cost(bytes->size())};
+  return {deserialize(*bytes), stats};
+}
+
+std::optional<std::pair<Checkpoint, IoStats>> CheckpointStore::try_get(
+    const std::string& key) const {
+  std::optional<std::vector<std::byte>> bytes;
+  try {
+    bytes = read_bytes(key);
+  } catch (const std::exception&) {
+    return std::nullopt;  // unreadable backing file
+  }
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    IoStats stats{bytes->size(), model_.read_cost(bytes->size())};
+    return std::make_pair(deserialize(*bytes), stats);
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncated or CRC-corrupt payload
+  }
 }
 
 bool CheckpointStore::contains(const std::string& key) const {

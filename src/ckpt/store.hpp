@@ -13,7 +13,9 @@
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
@@ -57,6 +59,12 @@ class CheckpointStore {
   /// std::runtime_error for corrupted payloads.
   [[nodiscard]] std::pair<Checkpoint, IoStats> get(const std::string& key) const;
 
+  /// Non-throwing lookup with a single lock acquisition (no contains()/get()
+  /// TOCTOU window): empty when the key is unknown or the payload cannot be
+  /// read or decoded (truncated file, CRC failure, ...).
+  [[nodiscard]] std::optional<std::pair<Checkpoint, IoStats>> try_get(
+      const std::string& key) const;
+
   [[nodiscard]] bool contains(const std::string& key) const;
   [[nodiscard]] std::size_t count() const;
 
@@ -69,6 +77,10 @@ class CheckpointStore {
 
  private:
   [[nodiscard]] std::filesystem::path path_for(const std::string& key) const;
+  /// Fetch the serialized payload under one lock; empty for unknown keys,
+  /// throws std::runtime_error when the backing file cannot be read.
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_bytes(
+      const std::string& key) const;
 
   Backend backend_;
   std::filesystem::path dir_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cluster/faults.hpp"
 #include "common/timer.hpp"
 
 namespace swt {
@@ -28,29 +29,53 @@ Evaluator::Evaluator(const SearchSpace& space, const DatasetPair& data,
   }
 }
 
-EvalRecord Evaluator::evaluate(long id, const Proposal& proposal) {
+EvalRecord Evaluator::evaluate(long id, const Proposal& proposal, int attempt,
+                               const FaultModel* faults) {
   EvalRecord rec;
   rec.id = id;
   rec.arch = proposal.arch;
   rec.parent_id = proposal.parent_id;
+  rec.attempt = attempt;
 
   // Per-evaluation RNG: a pure function of (seed, id, arch) so that results
-  // do not depend on worker interleaving.
-  Rng rng(mix64(cfg_.seed, mix64(static_cast<std::uint64_t>(id), arch_hash(proposal.arch))));
+  // do not depend on worker interleaving.  Resubmissions of a crashed
+  // attempt fold the attempt number in for a fresh, equally deterministic
+  // stream; attempt 0 keeps the historical derivation bit for bit.
+  std::uint64_t eval_key = mix64(static_cast<std::uint64_t>(id), arch_hash(proposal.arch));
+  if (attempt > 0) eval_key = mix64(eval_key, 0xA77E3D00ULL + static_cast<std::uint64_t>(attempt));
+  Rng rng(mix64(cfg_.seed, eval_key));
 
   NetworkPtr net = space_->build(proposal.arch);
   net->init(rng);
   rec.param_count = net->param_count();
 
+  FaultInjectingStore store(*store_, faults);
+  store.set_context(id, attempt);
+
   // Weight transfer from the parent checkpoint, when we have a provider.
-  if (cfg_.mode != TransferMode::kNone && proposal.parent_arch.has_value() &&
-      !proposal.parent_ckpt_key.empty() && store_->contains(proposal.parent_ckpt_key)) {
-    auto [parent_ckpt, read_stats] = store_->get(proposal.parent_ckpt_key);
-    rec.ckpt_read_cost = read_stats.cost_seconds;
-    const TransferStats ts = apply_transfer(parent_ckpt, *net, cfg_.mode);
-    rec.tensors_transferred = ts.tensors_transferred;
-    rec.values_transferred = ts.values_transferred;
-    rec.transfer_seconds = ts.match_seconds + ts.copy_seconds;
+  // Any way the parent can be unreadable — never checkpointed (its write
+  // gave up), missing, CRC-corrupt on disk, or injected read failures past
+  // the retry budget — degrades to the random init applied above.
+  const bool wants_parent =
+      cfg_.mode != TransferMode::kNone && proposal.parent_arch.has_value();
+  if (wants_parent && !proposal.parent_ckpt_key.empty()) {
+    auto parent = store.try_get(proposal.parent_ckpt_key);
+    rec.retries += store.last_op().failed_tries;
+    rec.retry_seconds += store.last_op().retry_seconds;
+    if (store.last_op().failed_tries > 0) rec.faults |= kFaultCkptRead;
+    if (parent.has_value()) {
+      rec.ckpt_read_cost = parent->second.cost_seconds;
+      const TransferStats ts = apply_transfer(parent->first, *net, cfg_.mode);
+      rec.tensors_transferred = ts.tensors_transferred;
+      rec.values_transferred = ts.values_transferred;
+      rec.transfer_seconds = ts.match_seconds + ts.copy_seconds;
+    } else {
+      rec.transfer_fallback = true;
+      rec.faults |= kFaultParentUnreadable;
+    }
+  } else if (wants_parent) {
+    rec.transfer_fallback = true;
+    rec.faults |= kFaultParentUnreadable;
   }
 
   WallTimer train_timer;
@@ -62,9 +87,16 @@ EvalRecord Evaluator::evaluate(long id, const Proposal& proposal) {
   if (cfg_.write_checkpoints) {
     rec.ckpt_key = "ckpt-" + std::to_string(id);
     const Checkpoint ckpt = Checkpoint::from_network(*net, proposal.arch, rec.score);
-    const IoStats ws = store_->put(rec.ckpt_key, ckpt);
-    rec.ckpt_write_cost = ws.cost_seconds;
-    rec.ckpt_bytes = ws.bytes;
+    const IoStats ws = store.put(rec.ckpt_key, ckpt);
+    rec.retries += store.last_op().failed_tries;
+    rec.retry_seconds += store.last_op().retry_seconds;
+    if (store.last_op().failed_tries > 0) rec.faults |= kFaultCkptWrite;
+    if (store.last_op().gave_up) {
+      rec.ckpt_key.clear();  // never became visible; children get no provider
+    } else {
+      rec.ckpt_write_cost = ws.cost_seconds;
+      rec.ckpt_bytes = ws.bytes;
+    }
   }
   return rec;
 }

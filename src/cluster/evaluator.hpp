@@ -18,6 +18,8 @@
 
 namespace swt {
 
+class FaultModel;
+
 /// Everything recorded about one candidate evaluation (one trace row).
 struct EvalRecord {
   long id = -1;
@@ -45,6 +47,13 @@ struct EvalRecord {
   double virtual_start = 0.0;
   double virtual_finish = 0.0;
   int worker = -1;
+
+  // Fault tolerance (all zero on a fault-free run; see cluster/faults.hpp):
+  int attempt = 0;            ///< 0 = first submission, >0 = resubmission
+  unsigned faults = 0;        ///< FaultKind bitmask observed by this attempt
+  int retries = 0;            ///< failed checkpoint-I/O tries (then retried)
+  double retry_seconds = 0.0; ///< modelled cost of those tries + backoff
+  bool transfer_fallback = false;  ///< parent wanted but unreadable -> random init
 };
 
 class Evaluator {
@@ -67,8 +76,17 @@ class Evaluator {
   Evaluator(const SearchSpace& space, const DatasetPair& data, CheckpointStore& store,
             Config cfg);
 
-  /// Evaluate one proposal; `id` is the global evaluation id.
-  [[nodiscard]] EvalRecord evaluate(long id, const Proposal& proposal);
+  /// Evaluate one proposal; `id` is the global evaluation id.  `attempt`
+  /// numbers resubmissions of the same proposal after a worker crash: each
+  /// attempt draws a fresh derived RNG stream (attempt 0 reproduces the
+  /// historical stream exactly).  `faults`, when non-null and active,
+  /// injects checkpoint I/O failures; their retry cost lands in the record.
+  /// An unreadable parent checkpoint (missing, corrupt, or retries
+  /// exhausted) degrades to the already-applied random initialisation and
+  /// sets `transfer_fallback` instead of aborting the search.
+  [[nodiscard]] EvalRecord evaluate(long id, const Proposal& proposal,
+                                    int attempt = 0,
+                                    const FaultModel* faults = nullptr);
 
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 

@@ -1,0 +1,156 @@
+// Deterministic fault injection for the virtual cluster.
+//
+// The paper's searches run on up to 32 GPUs of an HPC cluster with every
+// scored candidate checkpointed to a shared PFS and read back by its
+// children — an environment where worker crashes, straggler nodes and
+// corrupted or late checkpoints are routine.  This module models those
+// failures *deterministically*: every decision (does this attempt crash?
+// is this worker a straggler? does this PFS read fail?) is a pure function
+// of (fault seed, evaluation id, attempt, retry index), so a faulty run is
+// exactly reproducible regardless of worker count or interleaving, and a
+// run with all rates at zero is bit-identical to a fault-free one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "ckpt/store.hpp"
+#include "common/rng.hpp"
+
+namespace swt {
+
+/// Fault kinds observed by an evaluation attempt (EvalRecord::faults bitmask).
+enum FaultKind : unsigned {
+  kFaultCrash = 1u << 0,        ///< worker crashed mid-evaluation (work lost)
+  kFaultStraggler = 1u << 1,    ///< compute slowed by the straggler multiplier
+  kFaultCkptWrite = 1u << 2,    ///< >=1 injected checkpoint-write failure
+  kFaultCkptRead = 1u << 3,     ///< >=1 injected checkpoint-read failure
+  kFaultParentUnreadable = 1u << 4,  ///< parent ckpt missing/corrupt/given up
+};
+
+/// All knobs of the fault model.  Defaults model a perfect cluster: every
+/// rate is zero, so the model is inert and traces match the fault-free code
+/// path bit for bit.
+struct FaultConfig {
+  /// Seed for every fault decision stream; mixed with (eval id, attempt).
+  /// run_nas derives it from the run seed when left at zero.
+  std::uint64_t seed = 0;
+
+  /// Mean time between worker crashes in virtual seconds of compute
+  /// (exponential failure law: P(crash) = 1 - exp(-duration/mtbf)).
+  /// 0 disables crashes.
+  double mtbf_seconds = 0.0;
+  /// A crashed worker rejoins the cluster this long after the crash.
+  double worker_recovery_s = 30.0;
+  /// Evaluation attempts per proposal (first try + resubmissions); an
+  /// attempt that crashes with no budget left counts as a lost evaluation.
+  int max_attempts = 3;
+
+  /// Probability an evaluation attempt lands on a straggler node.
+  double straggler_rate = 0.0;
+  /// Compute-time multiplier for straggler attempts (>= 1).
+  double straggler_multiplier = 4.0;
+
+  /// Per-try probability that a checkpoint write / read against the PFS
+  /// fails and must be retried.
+  double ckpt_write_fault_rate = 0.0;
+  double ckpt_read_fault_rate = 0.0;
+  /// Failed PFS operations are retried up to this many times with
+  /// exponential backoff; every failed try's modelled cost plus its backoff
+  /// is charged to the virtual clock.
+  int max_io_retries = 3;
+  double retry_backoff_s = 0.050;
+  double retry_backoff_multiplier = 2.0;
+
+  /// True when any fault can actually fire.
+  [[nodiscard]] bool active() const noexcept {
+    return mtbf_seconds > 0.0 || straggler_rate > 0.0 ||
+           ckpt_write_fault_rate > 0.0 || ckpt_read_fault_rate > 0.0;
+  }
+};
+
+/// Stateless oracle answering "what goes wrong for evaluation (id, attempt)?".
+class FaultModel {
+ public:
+  FaultModel() = default;  ///< inert model (no faults)
+  explicit FaultModel(FaultConfig cfg);
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.active(); }
+
+  struct CrashDecision {
+    bool crashed = false;
+    /// Fraction of the attempt's virtual duration elapsed when the worker
+    /// died (in (0, 1)); the work up to that point is lost.
+    double work_fraction = 0.0;
+  };
+  /// Crash exposure grows with the attempt's compute time (exponential law).
+  [[nodiscard]] CrashDecision crash(long eval_id, int attempt,
+                                    double compute_seconds) const;
+
+  /// 1.0 for healthy attempts, cfg.straggler_multiplier for stragglers.
+  [[nodiscard]] double straggler_factor(long eval_id, int attempt) const;
+
+  /// Does try `try_index` (0-based) of this attempt's checkpoint I/O fail?
+  [[nodiscard]] bool ckpt_write_fails(long eval_id, int attempt, int try_index) const;
+  [[nodiscard]] bool ckpt_read_fails(long eval_id, int attempt, int try_index) const;
+
+  /// Backoff charged before retrying after failed try `try_index`.
+  [[nodiscard]] double backoff_seconds(int try_index) const noexcept;
+
+ private:
+  [[nodiscard]] Rng stream(std::uint64_t salt, long eval_id, int attempt,
+                           int k) const noexcept;
+  FaultConfig cfg_;
+};
+
+/// Decorator over a CheckpointStore that injects the FaultModel's PFS
+/// failures and retries with exponential backoff.  The caller seeds the
+/// decision stream with set_context(eval id, attempt) and reads the cost of
+/// failed tries back from last_op() to charge it to the virtual clock.
+/// With a null/inert model every call forwards untouched, so the fault-free
+/// path stays bit-identical.
+class FaultInjectingStore {
+ public:
+  struct OpStats {
+    int failed_tries = 0;       ///< injected failures during the last op
+    double retry_seconds = 0.0; ///< modelled cost of those tries + backoff
+    bool gave_up = false;       ///< retry budget exhausted
+  };
+
+  /// `inner` must outlive the decorator; `model` may be null (no faults).
+  FaultInjectingStore(CheckpointStore& inner, const FaultModel* model) noexcept
+      : inner_(&inner), model_(model) {}
+
+  void set_context(long eval_id, int attempt) noexcept {
+    eval_id_ = eval_id;
+    attempt_ = attempt;
+  }
+
+  /// Store `ckpt` under `key`, retrying injected write failures.  On
+  /// give-up nothing is stored (children will miss the key) and the
+  /// returned stats are zero; check last_op().gave_up.
+  IoStats put(const std::string& key, const Checkpoint& ckpt);
+
+  /// Load `key`, retrying injected read failures.  Empty when the key is
+  /// missing, the payload is corrupt, or the retry budget is exhausted.
+  [[nodiscard]] std::optional<std::pair<Checkpoint, IoStats>> try_get(
+      const std::string& key);
+
+  [[nodiscard]] const OpStats& last_op() const noexcept { return op_; }
+
+ private:
+  [[nodiscard]] bool active() const noexcept {
+    return model_ != nullptr && model_->enabled();
+  }
+
+  CheckpointStore* inner_;
+  const FaultModel* model_;
+  long eval_id_ = -1;
+  int attempt_ = 0;
+  OpStats op_;
+};
+
+}  // namespace swt

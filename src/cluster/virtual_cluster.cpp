@@ -1,9 +1,11 @@
 #include "cluster/virtual_cluster.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace swt {
 
@@ -27,7 +29,15 @@ struct InFlight {
   double finish;
   EvalRecord record;
   int worker;
+  bool crashed = false;  ///< event is a worker crash, not a completion
+  Proposal proposal;     ///< kept for resubmission of crashed attempts
   bool operator>(const InFlight& other) const noexcept { return finish > other.finish; }
+};
+
+struct Resubmit {
+  long id;
+  Proposal proposal;
+  int attempt;
 };
 
 }  // namespace
@@ -35,6 +45,10 @@ struct InFlight {
 Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
                  const ClusterConfig& cfg, Rng& rng) {
   if (cfg.num_workers <= 0) throw std::invalid_argument("run_search: need >= 1 worker");
+  const FaultModel fault_model(cfg.faults);
+  const FaultModel* faults = fault_model.enabled() ? &fault_model : nullptr;
+  const int max_attempts = std::max(1, cfg.faults.max_attempts);
+
   Trace trace;
   trace.num_workers = cfg.num_workers;
   trace.records.reserve(static_cast<std::size_t>(n_evals));
@@ -42,27 +56,48 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
   std::vector<double> worker_free(static_cast<std::size_t>(cfg.num_workers),
                                   cfg.clock_origin);
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight;
+  std::deque<Resubmit> resubmit;                       // crashed, awaiting retry
   std::unordered_map<long, double> ckpt_available_at;  // by evaluation id
   double clock = cfg.clock_origin;
-  long submitted = 0;
-  long completed = 0;
+  long submitted = 0;  // fresh proposals issued (resubmissions reuse their id)
+  long finished = 0;   // completed records + permanently lost evaluations
 
-  while (completed < n_evals) {
-    // Hand a proposal to every worker that is idle at the current virtual
-    // time.  All proposals issued at the same instant see the same strategy
-    // state — exactly the behaviour of an asynchronous scheduler that fans
-    // out to multiple free evaluators at once.
-    for (int w = 0; w < cfg.num_workers && submitted < n_evals; ++w) {
+  while (finished < n_evals) {
+    // Hand work to every worker that is idle at the current virtual time —
+    // resubmissions of crashed attempts first, then fresh proposals.  All
+    // proposals issued at the same instant see the same strategy state —
+    // exactly the behaviour of an asynchronous scheduler that fans out to
+    // multiple free evaluators at once.
+    for (int w = 0; w < cfg.num_workers; ++w) {
+      if (resubmit.empty() && submitted >= n_evals) break;
       if (worker_free[static_cast<std::size_t>(w)] > clock) continue;
-      const Proposal proposal = strategy.propose(rng);
-      EvalRecord rec = evaluator.evaluate(cfg.first_eval_id + submitted, proposal);
+      long id;
+      Proposal proposal;
+      int attempt = 0;
+      if (!resubmit.empty()) {
+        id = resubmit.front().id;
+        proposal = std::move(resubmit.front().proposal);
+        attempt = resubmit.front().attempt;
+        resubmit.pop_front();
+      } else {
+        proposal = strategy.propose(rng);
+        id = cfg.first_eval_id + submitted;
+        ++submitted;
+      }
+      EvalRecord rec = evaluator.evaluate(id, proposal, attempt, faults);
       // In fixed-duration mode (tests) the measured transfer wall time is
       // excluded as well, so the virtual timeline is bit-reproducible; the
       // mechanism cost is micro-seconds here and <150 ms in the paper.
-      const double compute_virtual =
+      double compute_virtual =
           cfg.fixed_train_seconds >= 0.0
               ? cfg.fixed_train_seconds
               : rec.train_seconds * cfg.time_scale + rec.transfer_seconds;
+      const double straggle =
+          faults != nullptr ? faults->straggler_factor(id, attempt) : 1.0;
+      if (straggle > 1.0) {
+        rec.faults |= kFaultStraggler;
+        compute_virtual *= straggle;
+      }
 
       // Checkpoint cost model.  Synchronous: the worker pays the full write.
       // Asynchronous: it pays only the enqueue latency, the drain completes
@@ -78,10 +113,31 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
           rec.ckpt_read_wait = it->second - clock;
       }
       const double duration = compute_virtual + rec.ckpt_read_wait + rec.ckpt_read_cost +
-                              rec.ckpt_write_charged;
+                              rec.ckpt_write_charged + rec.retry_seconds;
       rec.virtual_start = clock;
-      rec.virtual_finish = clock + duration;
       rec.worker = w;
+
+      // Crash exposure scales with the attempt's (straggler-stretched)
+      // compute time.  A crashed attempt's result is discarded: nothing is
+      // reported, its checkpoint never becomes readable, and the worker is
+      // out of the pool until it recovers.
+      const FaultModel::CrashDecision cd =
+          faults != nullptr ? faults->crash(id, attempt, compute_virtual)
+                            : FaultModel::CrashDecision{};
+      if (cd.crashed) {
+        rec.faults |= kFaultCrash;
+        const double crash_at = clock + cd.work_fraction * duration;
+        rec.virtual_finish = crash_at;
+        ++trace.crashed_attempts;
+        trace.lost_train_seconds += cd.work_fraction * compute_virtual;
+        worker_free[static_cast<std::size_t>(w)] =
+            crash_at + cfg.faults.worker_recovery_s;
+        in_flight.push(InFlight{crash_at, std::move(rec), w, /*crashed=*/true,
+                                std::move(proposal)});
+        continue;
+      }
+
+      rec.virtual_finish = clock + duration;
       if (rec.ckpt_bytes > 0) {
         // Sync: readable once the evaluation finishes.  Async: the drain
         // starts at the end of the evaluation and takes the full write cost.
@@ -91,22 +147,42 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
         ckpt_available_at.emplace(rec.id, rec.ckpt_available_at);
       }
       worker_free[static_cast<std::size_t>(w)] = rec.virtual_finish;
-      in_flight.push(InFlight{rec.virtual_finish, std::move(rec), w});
-      ++submitted;
+      in_flight.push(InFlight{rec.virtual_finish, std::move(rec), w,
+                              /*crashed=*/false, Proposal{}});
     }
 
-    if (in_flight.empty())
-      throw std::logic_error("run_search: no work in flight (scheduler stall)");
+    if (in_flight.empty()) {
+      // Nothing running.  If work remains (queued resubmissions or fresh
+      // proposals), every worker is still in crash recovery: jump the clock
+      // to the first one back up.
+      if (resubmit.empty() && submitted >= n_evals)
+        throw std::logic_error("run_search: no work in flight (scheduler stall)");
+      clock = *std::min_element(worker_free.begin(), worker_free.end());
+      continue;
+    }
 
-    // Advance the clock to the next completion and report it.
+    // Advance the clock to the next event.
     InFlight done = in_flight.top();
     in_flight.pop();
     clock = done.finish;
+    if (done.crashed) {
+      if (done.record.attempt + 1 < max_attempts) {
+        resubmit.push_back(
+            Resubmit{done.record.id, std::move(done.proposal), done.record.attempt + 1});
+        ++trace.resubmissions;
+      } else {
+        ++trace.lost_evaluations;  // accounted, never silently dropped
+        ++finished;
+      }
+      continue;
+    }
     strategy.report(Outcome{done.record.id, done.record.arch, done.record.score,
                             done.record.ckpt_key});
     trace.makespan = std::max(trace.makespan, done.record.virtual_finish);
+    trace.retry_seconds += done.record.retry_seconds;
+    if (done.record.transfer_fallback) ++trace.transfer_fallbacks;
     trace.records.push_back(std::move(done.record));
-    ++completed;
+    ++finished;
   }
   return trace;
 }

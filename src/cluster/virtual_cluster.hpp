@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/evaluator.hpp"
+#include "cluster/faults.hpp"
 
 namespace swt {
 
@@ -36,12 +37,23 @@ struct ClusterConfig {
   /// `first_eval_id` and the virtual clock at `clock_origin`.
   long first_eval_id = 0;
   double clock_origin = 0.0;
+  /// Deterministic fault injection (crashes, stragglers, checkpoint I/O
+  /// failures); inert by default, so fault-free traces are unchanged.
+  FaultConfig faults = {};
 };
 
 struct Trace {
   std::vector<EvalRecord> records;  ///< in virtual completion order
   double makespan = 0.0;            ///< virtual finish time of the last record
   int num_workers = 0;
+
+  // Failure accounting (all zero on a fault-free run):
+  long crashed_attempts = 0;   ///< evaluation attempts destroyed by crashes
+  long resubmissions = 0;      ///< crashed attempts re-queued for another try
+  long lost_evaluations = 0;   ///< proposals abandoned after max_attempts
+  double lost_train_seconds = 0.0;  ///< virtual compute destroyed by crashes
+  double retry_seconds = 0.0;  ///< ckpt-I/O retry + backoff time (completed records)
+  long transfer_fallbacks = 0; ///< completed evals that fell back to random init
 
   [[nodiscard]] double total_ckpt_overhead() const noexcept;
   [[nodiscard]] double total_train_time() const noexcept;
@@ -50,6 +62,13 @@ struct Trace {
 /// Run `n_evals` candidate evaluations of `strategy` on a simulated cluster.
 /// `rng` drives the strategy's proposals only; per-candidate randomness is
 /// derived inside the evaluator from (seed, id).
+///
+/// With `cfg.faults` active the scheduler is failure-aware: a crashed
+/// attempt's work is discarded (never reported to the strategy), its worker
+/// rejoins after `worker_recovery_s`, and the same proposal is resubmitted
+/// under the same evaluation id with a fresh derived RNG stream, up to
+/// `max_attempts` tries; proposals that exhaust the budget are counted in
+/// `Trace::lost_evaluations`, so no evaluation is ever silently dropped.
 [[nodiscard]] Trace run_search(Evaluator& evaluator, SearchStrategy& strategy,
                                long n_evals, const ClusterConfig& cfg, Rng& rng);
 

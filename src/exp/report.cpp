@@ -56,4 +56,22 @@ void print_banner(std::ostream& os, const std::string& title) {
   os << "\n=== " << title << " ===\n";
 }
 
+void print_failure_summary(std::ostream& os, const Trace& trace) {
+  const bool clean = trace.crashed_attempts == 0 && trace.lost_evaluations == 0 &&
+                     trace.retry_seconds == 0.0 && trace.transfer_fallbacks == 0;
+  if (clean) {
+    os << "faults              : none (clean run)\n";
+    return;
+  }
+  os << "crashed attempts    : " << trace.crashed_attempts << " ("
+     << trace.resubmissions << " resubmitted, " << trace.lost_evaluations
+     << " lost after max attempts)\n"
+     << "lost train time     : " << TableReport::cell(trace.lost_train_seconds, 2)
+     << " virtual s\n"
+     << "ckpt retry time     : " << TableReport::cell(trace.retry_seconds, 2)
+     << " virtual s\n"
+     << "random-init fallback: " << trace.transfer_fallbacks << " of "
+     << trace.records.size() << " evaluations\n";
+}
+
 }  // namespace swt

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/virtual_cluster.hpp"
+
 namespace swt {
 
 /// Accumulates rows of string cells and prints an aligned ASCII table.
@@ -29,5 +31,10 @@ class TableReport {
 /// Section banner used by every bench binary, e.g.
 /// "=== Fig. 8: full-training speedup (paper: LCS 1.5x, LP 1.4x) ===".
 void print_banner(std::ostream& os, const std::string& title);
+
+/// Print a trace's failure accounting (crashes, resubmissions, lost work,
+/// I/O retries, random-init fallbacks).  Prints a single "no faults" line
+/// when the run was clean.
+void print_failure_summary(std::ostream& os, const Trace& trace);
 
 }  // namespace swt

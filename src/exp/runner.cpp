@@ -31,6 +31,8 @@ NasRun run_nas(const AppConfig& app, const NasRunConfig& cfg) {
   Rng rng(mix64(cfg.seed, 0x5EA6C4));
   ClusterConfig cluster = cfg.cluster;
   cluster.time_scale = cfg.time_scale > 0.0 ? cfg.time_scale : app.time_scale;
+  if (cluster.faults.active() && cluster.faults.seed == 0)
+    cluster.faults.seed = mix64(cfg.seed, 0xFA017);
   run.trace = run_search(evaluator, strategy, cfg.n_evals, cluster, rng);
   return run;
 }
@@ -62,6 +64,8 @@ NasRun resume_nas(const AppConfig& app, const NasRunConfig& cfg, NasRun previous
   cluster.time_scale = cfg.time_scale > 0.0 ? cfg.time_scale : app.time_scale;
   cluster.first_eval_id = max_id + 1;
   cluster.clock_origin = previous.trace.makespan;
+  if (cluster.faults.active() && cluster.faults.seed == 0)
+    cluster.faults.seed = mix64(cfg.seed, 0xFA017);
   Rng rng(mix64(cfg.seed, mix64(0x5EA6C4, previous.trace.records.size())));
   Trace continuation = run_search(evaluator, strategy, additional_evals, cluster, rng);
 
@@ -72,6 +76,12 @@ NasRun resume_nas(const AppConfig& app, const NasRunConfig& cfg, NasRun previous
   run.trace.records.insert(run.trace.records.end(),
                            std::make_move_iterator(continuation.records.begin()),
                            std::make_move_iterator(continuation.records.end()));
+  run.trace.crashed_attempts += continuation.crashed_attempts;
+  run.trace.resubmissions += continuation.resubmissions;
+  run.trace.lost_evaluations += continuation.lost_evaluations;
+  run.trace.lost_train_seconds += continuation.lost_train_seconds;
+  run.trace.retry_seconds += continuation.retry_seconds;
+  run.trace.transfer_fallbacks += continuation.transfer_fallbacks;
   return run;
 }
 

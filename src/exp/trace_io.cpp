@@ -13,7 +13,18 @@ constexpr const char* kHeader =
     "id,arch,score,parent_id,ckpt_key,param_count,tensors_transferred,"
     "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
     "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
+    "ckpt_available_at,virtual_start,virtual_finish,worker,"
+    "attempt,faults,retries,retry_seconds,transfer_fallback";
+
+// Traces written before the fault-tolerance columns existed.
+constexpr const char* kLegacyHeader =
+    "id,arch,score,parent_id,ckpt_key,param_count,tensors_transferred,"
+    "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
+    "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
     "ckpt_available_at,virtual_start,virtual_finish,worker";
+
+constexpr std::size_t kColumns = 24;
+constexpr std::size_t kLegacyColumns = 19;
 
 /// Architecture sequences are encoded as '|'-joined ints so the CSV stays
 /// one-value-per-column.
@@ -49,7 +60,13 @@ std::vector<std::string> split_csv_line(const std::string& line) {
 void write_trace_csv(std::ostream& os, const Trace& trace) {
   os.precision(17);
   os << "# swtnas trace, num_workers=" << trace.num_workers
-     << ", makespan=" << trace.makespan << '\n';
+     << ", makespan=" << trace.makespan
+     << ", crashed_attempts=" << trace.crashed_attempts
+     << ", resubmissions=" << trace.resubmissions
+     << ", lost_evaluations=" << trace.lost_evaluations
+     << ", lost_train_seconds=" << trace.lost_train_seconds
+     << ", retry_seconds=" << trace.retry_seconds
+     << ", transfer_fallbacks=" << trace.transfer_fallbacks << '\n';
   os << kHeader << '\n';
   for (const auto& r : trace.records) {
     os << r.id << ',' << encode_arch(r.arch) << ',' << r.score << ',' << r.parent_id << ','
@@ -57,7 +74,9 @@ void write_trace_csv(std::ostream& os, const Trace& trace) {
        << r.values_transferred << ',' << r.train_seconds << ',' << r.transfer_seconds
        << ',' << r.ckpt_read_cost << ',' << r.ckpt_write_cost << ',' << r.ckpt_bytes << ','
        << r.ckpt_write_charged << ',' << r.ckpt_read_wait << ',' << r.ckpt_available_at
-       << ',' << r.virtual_start << ',' << r.virtual_finish << ',' << r.worker << '\n';
+       << ',' << r.virtual_start << ',' << r.virtual_finish << ',' << r.worker << ','
+       << r.attempt << ',' << r.faults << ',' << r.retries << ',' << r.retry_seconds
+       << ',' << (r.transfer_fallback ? 1 : 0) << '\n';
   }
 }
 
@@ -83,16 +102,23 @@ Trace read_trace_csv(std::istream& is) {
       const std::string value = token.substr(eq + 1);
       if (key.ends_with("num_workers")) trace.num_workers = std::stoi(value);
       if (key.ends_with("makespan")) trace.makespan = std::stod(value);
+      if (key.ends_with("crashed_attempts")) trace.crashed_attempts = std::stol(value);
+      if (key.ends_with("resubmissions")) trace.resubmissions = std::stol(value);
+      if (key.ends_with("lost_evaluations")) trace.lost_evaluations = std::stol(value);
+      if (key.ends_with("lost_train_seconds")) trace.lost_train_seconds = std::stod(value);
+      if (key.ends_with("retry_seconds")) trace.retry_seconds = std::stod(value);
+      if (key.ends_with("transfer_fallbacks")) trace.transfer_fallbacks = std::stol(value);
     }
   }
-  if (!std::getline(is, line) || line != kHeader)
+  if (!std::getline(is, line) || (line != kHeader && line != kLegacyHeader))
     throw std::runtime_error("read_trace_csv: unexpected header");
+  const std::size_t want = line == kHeader ? kColumns : kLegacyColumns;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
-    if (cells.size() != 19)
-      throw std::runtime_error("read_trace_csv: expected 19 columns, got " +
-                               std::to_string(cells.size()));
+    if (cells.size() != want)
+      throw std::runtime_error("read_trace_csv: expected " + std::to_string(want) +
+                               " columns, got " + std::to_string(cells.size()));
     EvalRecord r;
     std::size_t c = 0;
     r.id = std::stol(cells[c++]);
@@ -114,6 +140,13 @@ Trace read_trace_csv(std::istream& is) {
     r.virtual_start = std::stod(cells[c++]);
     r.virtual_finish = std::stod(cells[c++]);
     r.worker = std::stoi(cells[c++]);
+    if (want == kColumns) {
+      r.attempt = std::stoi(cells[c++]);
+      r.faults = static_cast<unsigned>(std::stoul(cells[c++]));
+      r.retries = std::stoi(cells[c++]);
+      r.retry_seconds = std::stod(cells[c++]);
+      r.transfer_fallback = cells[c++] != "0";
+    }
     trace.records.push_back(std::move(r));
   }
   return trace;

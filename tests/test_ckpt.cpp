@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "ckpt/store.hpp"
 #include "nn/dense.hpp"
@@ -127,6 +130,49 @@ TEST(Store, DiskBackendPersistsToFiles) {
   EXPECT_TRUE(std::filesystem::exists(dir / "model-1.swtc"));
   auto [restored, stats] = store.get("model-1");
   EXPECT_EQ(restored.tensors[0].value, ckpt.tensors[0].value);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, TryGetMatchesGetOnHitAndIsEmptyOnMiss) {
+  CheckpointStore store;
+  const Checkpoint ckpt = sample_checkpoint();
+  store.put("k", ckpt);
+  const auto hit = store.try_get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first.arch, ckpt.arch);
+  EXPECT_EQ(hit->second.bytes, store.get("k").second.bytes);
+  EXPECT_FALSE(store.try_get("absent").has_value());
+}
+
+TEST(Store, DiskTruncationMakesGetThrowAndTryGetEmpty) {
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_trunc";
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+  store.put("victim", sample_checkpoint());
+  const auto path = dir / "victim.swtc";
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 7);
+  EXPECT_TRUE(store.contains("victim"));  // the file still exists...
+  EXPECT_THROW((void)store.get("victim"), std::runtime_error);
+  EXPECT_FALSE(store.try_get("victim").has_value());  // ...but is unreadable
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, DiskBitFlipMakesGetThrowAndTryGetEmpty) {
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_flip";
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+  store.put("victim", sample_checkpoint());
+  const auto path = dir / "victim.swtc";
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)store.get("victim"), std::runtime_error);
+  EXPECT_FALSE(store.try_get("victim").has_value());
   std::filesystem::remove_all(dir);
 }
 

@@ -86,6 +86,74 @@ TEST(TraceIo, EmptyTraceRoundTrips) {
   EXPECT_EQ(restored.num_workers, 5);
 }
 
+TEST(TraceIo, FaultFieldsAndCountersRoundTrip) {
+  Trace original;
+  original.num_workers = 2;
+  original.makespan = 42.5;
+  original.crashed_attempts = 3;
+  original.resubmissions = 2;
+  original.lost_evaluations = 1;
+  original.lost_train_seconds = 1.75;
+  original.retry_seconds = 0.375;
+  original.transfer_fallbacks = 4;
+  EvalRecord r;
+  r.id = 7;
+  r.arch = {1, 2, 3};
+  r.score = 0.5;
+  r.parent_id = 2;
+  r.attempt = 2;
+  r.faults = kFaultStraggler | kFaultCkptRead | kFaultParentUnreadable;
+  r.retries = 5;
+  r.retry_seconds = 0.25;
+  r.transfer_fallback = true;
+  original.records.push_back(r);
+
+  std::stringstream ss;
+  write_trace_csv(ss, original);
+  const Trace restored = read_trace_csv(ss);
+  EXPECT_EQ(restored.crashed_attempts, 3);
+  EXPECT_EQ(restored.resubmissions, 2);
+  EXPECT_EQ(restored.lost_evaluations, 1);
+  EXPECT_DOUBLE_EQ(restored.lost_train_seconds, 1.75);
+  EXPECT_DOUBLE_EQ(restored.retry_seconds, 0.375);
+  EXPECT_EQ(restored.transfer_fallbacks, 4);
+  ASSERT_EQ(restored.records.size(), 1u);
+  const auto& b = restored.records[0];
+  EXPECT_EQ(b.attempt, 2);
+  EXPECT_EQ(b.faults, r.faults);
+  EXPECT_EQ(b.retries, 5);
+  EXPECT_DOUBLE_EQ(b.retry_seconds, 0.25);
+  EXPECT_TRUE(b.transfer_fallback);
+}
+
+TEST(TraceIo, ReadsLegacyTracesWithoutFaultColumns) {
+  // A trace written before the fault-tolerance columns existed: 19 columns,
+  // no failure counters in the preamble.
+  const std::string text =
+      "# swtnas trace, num_workers=2, makespan=3.5\n"
+      "id,arch,score,parent_id,ckpt_key,param_count,tensors_transferred,"
+      "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
+      "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
+      "ckpt_available_at,virtual_start,virtual_finish,worker\n"
+      "0,1|2,0.75,-1,ck-0,100,0,0,0.5,0,0,0.01,64,0.01,0,1.5,0,1.5,1\n";
+  std::stringstream ss(text);
+  const Trace restored = read_trace_csv(ss);
+  EXPECT_EQ(restored.num_workers, 2);
+  ASSERT_EQ(restored.records.size(), 1u);
+  const auto& r = restored.records[0];
+  EXPECT_EQ(r.id, 0);
+  EXPECT_DOUBLE_EQ(r.score, 0.75);
+  EXPECT_EQ(r.worker, 1);
+  // Fault fields default to "clean" for legacy traces.
+  EXPECT_EQ(r.attempt, 0);
+  EXPECT_EQ(r.faults, 0u);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_DOUBLE_EQ(r.retry_seconds, 0.0);
+  EXPECT_FALSE(r.transfer_fallback);
+  EXPECT_EQ(restored.crashed_attempts, 0);
+  EXPECT_EQ(restored.lost_evaluations, 0);
+}
+
 TEST(TraceIo, RejectsMissingPreamble) {
   std::stringstream ss("id,arch\n1,2\n");
   EXPECT_THROW((void)read_trace_csv(ss), std::runtime_error);
