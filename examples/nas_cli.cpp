@@ -3,17 +3,26 @@
 //
 //   $ ./nas_cli --app cifar --mode lcs --evals 100 --workers 16
 //               --seed 3 --out trace.csv [--async-ckpt] [--compress quant8]
+//               [--metrics-out metrics.json] [--trace-out spans.json]
+//               [--log-level warn]
 //
 // Prints a run summary (best score, makespan, checkpoint traffic) and, with
-// --out, writes the full per-candidate trace.
+// --out, writes the full per-candidate trace.  --metrics-out snapshots the
+// process metrics registry (JSON, or CSV when the path ends in .csv);
+// --trace-out records span timelines and writes Chrome/Perfetto trace_event
+// JSON with one track per virtual worker.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/log.hpp"
 #include "exp/apps.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/trace_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace {
 
@@ -25,6 +34,8 @@ using namespace swt;
                "       [--evals N] [--workers N] [--seed N] [--population N]\n"
                "       [--sample N] [--out trace.csv] [--async-ckpt]\n"
                "       [--compress none|fp16|quant8]\n"
+               "       [--metrics-out file.json|file.csv] [--trace-out spans.json]\n"
+               "       [--log-level debug|info|warn|error|off]\n"
                "       [--mtbf S] [--straggler-rate P] [--straggler-mult M]\n"
                "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
                "\n"
@@ -73,6 +84,8 @@ int main(int argc, char** argv) try {
   cfg.cluster.num_workers = 8;
   cfg.evolution = {.population_size = 16, .sample_size = 8};
   std::string out_path;
+  std::string metrics_out;
+  std::string trace_out;
   CompressionKind compression = CompressionKind::kNone;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +102,13 @@ int main(int argc, char** argv) try {
     else if (arg == "--population") cfg.evolution.population_size = std::stoi(next());
     else if (arg == "--sample") cfg.evolution.sample_size = std::stoi(next());
     else if (arg == "--out") out_path = next();
+    else if (arg == "--metrics-out") metrics_out = next();
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--log-level") {
+      const auto level = parse_log_level(next());
+      if (!level.has_value()) usage(argv[0]);
+      set_log_level(*level);
+    }
     else if (arg == "--async-ckpt") cfg.cluster.async_checkpointing = true;
     else if (arg == "--compress") compression = parse_compression(next(), argv[0]);
     else if (arg == "--mtbf") cfg.cluster.faults.mtbf_seconds = std::stod(next());
@@ -112,6 +132,7 @@ int main(int argc, char** argv) try {
             << " compress=" << to_string(compression) << "\n";
 
   cfg.compression = compression;
+  if (!trace_out.empty()) SpanTracer::global().set_enabled(true);
   const NasRun run = run_nas(app, cfg);
 
   const auto top = top_k(run.trace, 5);
@@ -133,6 +154,23 @@ int main(int argc, char** argv) try {
   if (!out_path.empty()) {
     write_trace_csv(out_path, run.trace);
     std::cout << "trace written to " << out_path << "\n";
+  }
+  if (!metrics_out.empty()) {
+    const MetricsSnapshot snap = metrics().snapshot();
+    print_metrics_snapshot(std::cout, snap);
+    std::ofstream out(metrics_out, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + metrics_out);
+    if (metrics_out.size() >= 4 &&
+        metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0)
+      write_metrics_csv(out, snap);
+    else
+      write_metrics_json(out, snap);
+    std::cout << "\nmetrics written to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    write_trace_json(trace_out, SpanTracer::global().events());
+    std::cout << "span trace written to " << trace_out
+              << " (load in Perfetto or chrome://tracing)\n";
   }
   return 0;
 } catch (const std::exception& e) {

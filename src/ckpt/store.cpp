@@ -3,7 +3,29 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace swt {
+
+namespace {
+
+/// Store-level I/O telemetry: call counts, byte totals, and the modelled
+/// PFS cost distributions the virtual cluster charges to its event clock.
+void record_io(const char* op, const IoStats& stats) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry& m = metrics();
+  if (op[0] == 'w') {
+    m.counter("ckpt.put_total").add();
+    m.counter("ckpt.bytes_written_total").add(static_cast<std::int64_t>(stats.bytes));
+    m.histogram("ckpt.write_cost_seconds").observe(stats.cost_seconds);
+  } else {
+    m.counter("ckpt.get_total").add();
+    m.counter("ckpt.bytes_read_total").add(static_cast<std::int64_t>(stats.bytes));
+    m.histogram("ckpt.read_cost_seconds").observe(stats.cost_seconds);
+  }
+}
+
+}  // namespace
 
 CheckpointStore::CheckpointStore(Backend backend, std::filesystem::path dir,
                                  PfsCostModel model, CompressionKind compression)
@@ -21,6 +43,7 @@ std::filesystem::path CheckpointStore::path_for(const std::string& key) const {
 IoStats CheckpointStore::put(const std::string& key, const Checkpoint& ckpt) {
   std::vector<std::byte> bytes = serialize(ckpt, compression_);
   IoStats stats{bytes.size(), model_.write_cost(bytes.size())};
+  record_io("write", stats);
   std::scoped_lock lock(mutex_);
   sizes_.push_back(bytes.size());
   total_written_ += bytes.size();
@@ -62,6 +85,7 @@ std::pair<Checkpoint, IoStats> CheckpointStore::get(const std::string& key) cons
   if (!bytes.has_value())
     throw std::out_of_range("CheckpointStore: unknown key " + key);
   IoStats stats{bytes->size(), model_.read_cost(bytes->size())};
+  record_io("read", stats);
   return {deserialize(*bytes), stats};
 }
 
@@ -71,13 +95,20 @@ std::optional<std::pair<Checkpoint, IoStats>> CheckpointStore::try_get(
   try {
     bytes = read_bytes(key);
   } catch (const std::exception&) {
+    if (metrics_enabled()) metrics().counter("ckpt.read_miss_total").add();
     return std::nullopt;  // unreadable backing file
   }
-  if (!bytes.has_value()) return std::nullopt;
+  if (!bytes.has_value()) {
+    if (metrics_enabled()) metrics().counter("ckpt.read_miss_total").add();
+    return std::nullopt;
+  }
   try {
     IoStats stats{bytes->size(), model_.read_cost(bytes->size())};
-    return std::make_pair(deserialize(*bytes), stats);
+    auto result = std::make_pair(deserialize(*bytes), stats);
+    record_io("read", stats);
+    return result;
   } catch (const std::exception&) {
+    if (metrics_enabled()) metrics().counter("ckpt.read_miss_total").add();
     return std::nullopt;  // truncated or CRC-corrupt payload
   }
 }

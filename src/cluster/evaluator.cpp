@@ -4,7 +4,10 @@
 #include <stdexcept>
 
 #include "cluster/faults.hpp"
+#include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace swt {
 
@@ -31,6 +34,8 @@ Evaluator::Evaluator(const SearchSpace& space, const DatasetPair& data,
 
 EvalRecord Evaluator::evaluate(long id, const Proposal& proposal, int attempt,
                                const FaultModel* faults) {
+  const ScopedSpan eval_span("evaluate " + std::to_string(id), "eval");
+  if (metrics_enabled()) metrics().counter("eval.total").add();
   EvalRecord rec;
   rec.id = id;
   rec.arch = proposal.arch;
@@ -64,6 +69,7 @@ EvalRecord Evaluator::evaluate(long id, const Proposal& proposal, int attempt,
     rec.retry_seconds += store.last_op().retry_seconds;
     if (store.last_op().failed_tries > 0) rec.faults |= kFaultCkptRead;
     if (parent.has_value()) {
+      const ScopedSpan transfer_span("transfer", "transfer");
       rec.ckpt_read_cost = parent->second.cost_seconds;
       const TransferStats ts = apply_transfer(parent->first, *net, cfg_.mode);
       rec.tensors_transferred = ts.tensors_transferred;
@@ -77,14 +83,24 @@ EvalRecord Evaluator::evaluate(long id, const Proposal& proposal, int attempt,
     rec.transfer_fallback = true;
     rec.faults |= kFaultParentUnreadable;
   }
+  if (rec.transfer_fallback) {
+    if (metrics_enabled()) metrics().counter("eval.transfer_fallback_total").add();
+    log_warn("eval ", id, ": parent checkpoint unreadable, falling back to random init");
+  }
 
   WallTimer train_timer;
   const Dataset& train_split = use_subset_ ? train_subset_ : data_->train;
-  const TrainResult tr = Trainer::fit(*net, train_split, data_->val, cfg_.train, rng);
+  const TrainResult tr = [&] {
+    const ScopedSpan train_span("train", "train");
+    return Trainer::fit(*net, train_split, data_->val, cfg_.train, rng);
+  }();
   rec.train_seconds = train_timer.seconds();
   rec.score = tr.final_objective;
+  if (metrics_enabled())
+    metrics().histogram("eval.train_seconds").observe(rec.train_seconds);
 
   if (cfg_.write_checkpoints) {
+    const ScopedSpan ckpt_span("checkpoint", "checkpoint");
     rec.ckpt_key = "ckpt-" + std::to_string(id);
     const Checkpoint ckpt = Checkpoint::from_network(*net, proposal.arch, rec.score);
     const IoStats ws = store.put(rec.ckpt_key, ckpt);

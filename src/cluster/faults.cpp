@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace swt {
 
 namespace {
@@ -89,9 +92,20 @@ IoStats FaultInjectingStore::put(const std::string& key, const Checkpoint& ckpt)
       op_.retry_seconds += est_cost + model_->backoff_seconds(t);
       continue;
     }
+    if (op_.failed_tries > 0 && metrics_enabled()) {
+      metrics().counter("ckpt.injected_write_failures_total").add(op_.failed_tries);
+      metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
+    }
     return inner_->put(key, ckpt);
   }
   op_.gave_up = true;  // nothing stored: the candidate is not a provider
+  if (metrics_enabled()) {
+    metrics().counter("ckpt.injected_write_failures_total").add(op_.failed_tries);
+    metrics().counter("ckpt.giveups_total").add();
+    metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
+  }
+  log_warn("ckpt write gave up after ", op_.failed_tries, " failed tries (eval ",
+           eval_id_, ", key ", key, ")");
   return IoStats{};
 }
 
@@ -112,9 +126,20 @@ std::optional<std::pair<Checkpoint, IoStats>> FaultInjectingStore::try_get(
       op_.retry_seconds += est_cost + model_->backoff_seconds(t);
       continue;
     }
+    if (op_.failed_tries > 0 && metrics_enabled()) {
+      metrics().counter("ckpt.injected_read_failures_total").add(op_.failed_tries);
+      metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
+    }
     return real;
   }
   op_.gave_up = true;
+  if (metrics_enabled()) {
+    metrics().counter("ckpt.injected_read_failures_total").add(op_.failed_tries);
+    metrics().counter("ckpt.giveups_total").add();
+    metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
+  }
+  log_warn("ckpt read gave up after ", op_.failed_tries, " failed tries (eval ",
+           eval_id_, ", key ", key, ")");
   return std::nullopt;
 }
 

@@ -7,6 +7,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+
 namespace swt {
 
 double Trace::total_ckpt_overhead() const noexcept {
@@ -40,6 +44,40 @@ struct Resubmit {
   int attempt;
 };
 
+constexpr double kUsPerS = 1e6;
+
+/// Emit one completed evaluation as a per-worker timeline: a top-level
+/// "eval" span plus child spans for each cost component, in virtual
+/// microseconds.  The compute window is split into a transfer part (the
+/// measured mechanism wall time, an approximation in scaled/fixed-time
+/// runs) and the training remainder; checkpoint retries are drawn after
+/// the write since only their total is known.
+void emit_eval_spans(SpanTracer& tracer, const EvalRecord& rec) {
+  const double dur = rec.virtual_finish - rec.virtual_start;
+  tracer.complete("eval " + std::to_string(rec.id), "eval", kTraceVirtualPid,
+                  rec.worker, rec.virtual_start * kUsPerS, dur * kUsPerS,
+                  {{"id", std::to_string(rec.id)},
+                   {"parent", std::to_string(rec.parent_id)},
+                   {"attempt", std::to_string(rec.attempt)},
+                   {"score", json_number(rec.score)}});
+  double t = rec.virtual_start;
+  const auto child = [&](const char* name, const char* cat, double seconds) {
+    if (seconds <= 0.0) return;
+    tracer.complete(name, cat, kTraceVirtualPid, rec.worker, t * kUsPerS,
+                    seconds * kUsPerS);
+    t += seconds;
+  };
+  child("ckpt stall", "idle", rec.ckpt_read_wait);
+  child("ckpt read", "checkpoint", rec.ckpt_read_cost);
+  const double compute = std::max(0.0, (rec.virtual_finish - t) - rec.ckpt_write_charged -
+                                           rec.retry_seconds);
+  const double transfer_part = std::min(rec.transfer_seconds, compute);
+  child("transfer", "transfer", transfer_part);
+  child("train", "train", compute - transfer_part);
+  child("ckpt write", "checkpoint", rec.ckpt_write_charged);
+  child("ckpt retry", "checkpoint", rec.retry_seconds);
+}
+
 }  // namespace
 
 Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
@@ -52,6 +90,19 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
   Trace trace;
   trace.num_workers = cfg.num_workers;
   trace.records.reserve(static_cast<std::size_t>(n_evals));
+
+  // Observability: virtual-timeline spans (one Perfetto track per worker)
+  // plus scheduler-level metrics.  All of it is branch-only when the tracer
+  // is off and metrics are disabled.
+  SpanTracer& tracer = SpanTracer::global();
+  if (tracer.enabled()) {
+    tracer.name_process(kTraceVirtualPid, "virtual cluster (virtual time)");
+    tracer.name_process(kTraceWallPid, "process (wall time)");
+    for (int w = 0; w < cfg.num_workers; ++w)
+      tracer.name_track(kTraceVirtualPid, w, "worker " + std::to_string(w));
+  }
+  double busy_seconds = 0.0;      // worker-seconds spent on attempts
+  double recovery_seconds = 0.0;  // worker-seconds lost to crash recovery
 
   std::vector<double> worker_free(static_cast<std::size_t>(cfg.num_workers),
                                   cfg.clock_origin);
@@ -130,12 +181,22 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
         rec.virtual_finish = crash_at;
         ++trace.crashed_attempts;
         trace.lost_train_seconds += cd.work_fraction * compute_virtual;
+        busy_seconds += crash_at - clock;
+        recovery_seconds += cfg.faults.worker_recovery_s;
+        if (tracer.enabled()) {
+          tracer.complete("crash (eval " + std::to_string(id) + ")", "fault",
+                          kTraceVirtualPid, w, clock * 1e6, (crash_at - clock) * 1e6,
+                          {{"attempt", std::to_string(rec.attempt)}});
+          tracer.complete("recovery", "fault", kTraceVirtualPid, w, crash_at * 1e6,
+                          cfg.faults.worker_recovery_s * 1e6);
+        }
         worker_free[static_cast<std::size_t>(w)] =
             crash_at + cfg.faults.worker_recovery_s;
         in_flight.push(InFlight{crash_at, std::move(rec), w, /*crashed=*/true,
                                 std::move(proposal)});
         continue;
       }
+      busy_seconds += duration;
 
       rec.virtual_finish = clock + duration;
       if (rec.ckpt_bytes > 0) {
@@ -162,9 +223,14 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
     }
 
     // Advance the clock to the next event.
+    if (metrics_enabled())
+      metrics().gauge("cluster.queue_depth").set(static_cast<double>(in_flight.size()));
     InFlight done = in_flight.top();
     in_flight.pop();
     clock = done.finish;
+    if (tracer.enabled())
+      tracer.counter("in_flight", kTraceVirtualPid, clock * 1e6,
+                     static_cast<double>(in_flight.size()));
     if (done.crashed) {
       if (done.record.attempt + 1 < max_attempts) {
         resubmit.push_back(
@@ -181,8 +247,24 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
     trace.makespan = std::max(trace.makespan, done.record.virtual_finish);
     trace.retry_seconds += done.record.retry_seconds;
     if (done.record.transfer_fallback) ++trace.transfer_fallbacks;
+    if (tracer.enabled()) emit_eval_spans(tracer, done.record);
     trace.records.push_back(std::move(done.record));
     ++finished;
+  }
+
+  if (metrics_enabled()) {
+    MetricsRegistry& m = metrics();
+    m.counter("cluster.evals_completed_total")
+        .add(static_cast<std::int64_t>(trace.records.size()));
+    m.counter("cluster.crashes_total").add(trace.crashed_attempts);
+    m.counter("cluster.resubmissions_total").add(trace.resubmissions);
+    m.counter("cluster.lost_evaluations_total").add(trace.lost_evaluations);
+    m.counter("cluster.transfer_fallbacks_total").add(trace.transfer_fallbacks);
+    const double wall = (trace.makespan - cfg.clock_origin) * cfg.num_workers;
+    m.gauge("cluster.worker_busy_seconds").add(busy_seconds);
+    m.gauge("cluster.worker_recovery_seconds").add(recovery_seconds);
+    m.gauge("cluster.worker_idle_seconds")
+        .add(std::max(0.0, wall - busy_seconds - recovery_seconds));
   }
   return trace;
 }

@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace swt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_io_mutex;
+LogSink g_sink;  // empty -> default stderr sink; guarded by g_io_mutex
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -26,13 +29,57 @@ double elapsed_seconds() {
   static const clock::time_point start = clock::now();
   return std::chrono::duration<double>(clock::now() - start).count();
 }
+
+Counter& level_counter(LogLevel level) {
+  // Cached per level: logging must not pay a registry lookup per line.
+  static Counter& debug = metrics().counter("log.messages_total.debug");
+  static Counter& info = metrics().counter("log.messages_total.info");
+  static Counter& warn = metrics().counter("log.messages_total.warn");
+  static Counter& error = metrics().counter("log.messages_total.error");
+  switch (level) {
+    case LogLevel::kDebug: return debug;
+    case LogLevel::kInfo: return info;
+    case LogLevel::kWarn: return warn;
+    default: return error;
+  }
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
-void log_message(LogLevel level, const std::string& msg) {
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_sink(LogSink sink) {
   std::scoped_lock lock(g_io_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  level_counter(level).add();
+  std::scoped_lock lock(g_io_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[%8.3f] %s %s\n", elapsed_seconds(), level_tag(level), msg.c_str());
 }
 

@@ -1,7 +1,13 @@
 // Tiny leveled logger.  Experiments print structured tables themselves; this
 // is for progress/diagnostic lines, off by default at DEBUG level.
+//
+// The output sink is injectable (set_log_sink) so tests can capture and
+// assert on WARN/ERROR lines, and every emitted message is counted per
+// level in the process MetricsRegistry (log.messages_total.<level>).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,7 +19,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emit one line to stderr with a level prefix and elapsed-time stamp.
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// "debug" / "info" / "warn" / "error" / "off" (case-sensitive) -> level;
+/// nullopt for anything else.  Used by nas_cli's --log-level flag.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& name) noexcept;
+
+/// Receives every emitted line (already level-filtered), serialized under
+/// the logger's lock.  `msg` is the raw message without the level/timestamp
+/// prefix the default sink adds.
+using LogSink = std::function<void(LogLevel level, const std::string& msg)>;
+
+/// Replace the output sink; an empty function restores the default stderr
+/// sink.  Intended for tests and embedders; not reentrant with logging.
+void set_log_sink(LogSink sink);
+
+/// Emit one line through the current sink (default: stderr with a level
+/// prefix and elapsed-time stamp) and count it in the metrics registry.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace swt {
+
+namespace {
+
+/// Per-mode match-time histogram (the LP-vs-LCS overhead split the paper
+/// reports as "<150 ms per training run").
+Histogram& match_seconds_histogram(TransferMode mode) {
+  static Histogram& lp = metrics().histogram("transfer.match_seconds.LP");
+  static Histogram& lcs = metrics().histogram("transfer.match_seconds.LCS");
+  return mode == TransferMode::kLP ? lp : lcs;
+}
+
+}  // namespace
 
 TransferStats apply_transfer(const Checkpoint& provider, Network& receiver,
                              TransferMode mode) {
@@ -36,6 +49,17 @@ TransferStats apply_transfer(const Checkpoint& provider, Network& receiver,
     }
   }
   stats.copy_seconds = copy_timer.seconds();
+
+  if (metrics_enabled()) {
+    MetricsRegistry& m = metrics();
+    m.counter("transfer.applied_total").add();
+    m.counter("transfer.tensors_total")
+        .add(static_cast<std::int64_t>(stats.tensors_transferred));
+    m.counter("transfer.bytes_total")
+        .add(static_cast<std::int64_t>(stats.values_transferred * sizeof(float)));
+    match_seconds_histogram(mode).observe(stats.match_seconds);
+    m.histogram("transfer.copy_seconds").observe(stats.copy_seconds);
+  }
   return stats;
 }
 

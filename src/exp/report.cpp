@@ -74,4 +74,28 @@ void print_failure_summary(std::ostream& os, const Trace& trace) {
      << trace.records.size() << " evaluations\n";
 }
 
+void print_metrics_snapshot(std::ostream& os, const MetricsSnapshot& snap) {
+  if (snap.empty()) return;
+  print_banner(os, "metrics snapshot");
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TableReport scalars({"metric", "kind", "value"});
+    for (const auto& [name, v] : snap.counters)
+      scalars.add_row({name, "counter", std::to_string(v)});
+    for (const auto& [name, v] : snap.gauges)
+      scalars.add_row({name, "gauge", TableReport::cell(v, 3)});
+    scalars.print(os);
+  }
+  if (!snap.histograms.empty()) {
+    os << '\n';
+    TableReport hist({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      const double mean = h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+      hist.add_row({name, std::to_string(h.count), TableReport::cell(mean, 6),
+                    TableReport::cell(h.p50, 6), TableReport::cell(h.p90, 6),
+                    TableReport::cell(h.p99, 6), TableReport::cell(h.max, 6)});
+    }
+    hist.print(os);
+  }
+}
+
 }  // namespace swt

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/virtual_cluster.hpp"
+#include "obs/metrics.hpp"
 
 namespace swt {
 
@@ -36,5 +37,10 @@ void print_banner(std::ostream& os, const std::string& title);
 /// I/O retries, random-init fallbacks).  Prints a single "no faults" line
 /// when the run was clean.
 void print_failure_summary(std::ostream& os, const Trace& trace);
+
+/// Print a metrics snapshot as two tables: counters/gauges, then histogram
+/// aggregates (count, mean, p50/p90/p99, max).  Prints nothing for an empty
+/// snapshot, so uninstrumented runs stay quiet.
+void print_metrics_snapshot(std::ostream& os, const MetricsSnapshot& snap);
 
 }  // namespace swt

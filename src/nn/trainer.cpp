@@ -3,7 +3,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/timer.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace swt {
 
@@ -58,23 +61,52 @@ TrainResult Trainer::fit(Network& net, Adam& adam, const Dataset& train,
   auto params = net.params();
   net.set_train_rng(&rng);
 
+  // Step-level telemetry.  One registry lookup per fit() call; the per-batch
+  // cost is two/three clock reads plus relaxed atomics, all skipped when
+  // metrics are disabled (what bench_overhead compares).
+  MetricsRegistry& m = metrics();
+  Counter& epochs_total = m.counter("train.epochs_total");
+  Counter& batches_total = m.counter("train.batches_total");
+  Histogram& epoch_seconds = m.histogram("train.epoch_seconds");
+  Histogram& forward_seconds = m.histogram("train.forward_seconds");
+  Histogram& backward_seconds = m.histogram("train.backward_seconds");
+  Histogram& step_seconds = m.histogram("train.step_seconds");
+
   TrainResult result;
   double prev_objective = std::nan("");
   int flat_streak = 0;
 
   std::vector<std::int64_t> batch_idx;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    const ScopedSpan epoch_span("epoch " + std::to_string(epoch), "train");
+    WallTimer epoch_timer;
     adam.set_lr(scheduled_lr(opts.lr_schedule, opts.adam.lr, epoch, opts.epochs,
                              opts.lr_step_decay, opts.lr_step_every));
     BatchIterator batches(train.size(), opts.batch_size, rng);
     while (batches.next(batch_idx)) {
       const Dataset batch = train.subset(batch_idx);
       net.zero_grads();
-      Tensor pred = net.forward(batch.x, /*train=*/true);
-      const LossResult lr = compute_loss(pred, batch);
-      net.backward(lr.grad);
-      adam.step(params);
+      if (metrics_enabled()) {
+        WallTimer phase;
+        Tensor pred = net.forward(batch.x, /*train=*/true);
+        const LossResult lr = compute_loss(pred, batch);
+        forward_seconds.observe(phase.seconds());
+        phase.reset();
+        net.backward(lr.grad);
+        backward_seconds.observe(phase.seconds());
+        phase.reset();
+        adam.step(params);
+        step_seconds.observe(phase.seconds());
+      } else {
+        Tensor pred = net.forward(batch.x, /*train=*/true);
+        const LossResult lr = compute_loss(pred, batch);
+        net.backward(lr.grad);
+        adam.step(params);
+      }
+      batches_total.add();
     }
+    epochs_total.add();
+    epoch_seconds.observe(epoch_timer.seconds());
     const double objective = evaluate(net, val, opts.objective);
     result.history.push_back(objective);
     result.final_objective = objective;

@@ -1,0 +1,232 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace swt {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+void set_metrics_enabled(bool on) noexcept {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) noexcept {
+  if (!metrics_enabled()) return;
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_seconds_bounds() : std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::vector<double> Histogram::default_seconds_bounds() {
+  std::vector<double> b;
+  for (double decade = 1e-6; decade < 1e3; decade *= 10.0)
+    for (double m : {1.0, 2.0, 5.0}) b.push_back(decade * m);
+  b.push_back(1e3);
+  return b;
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!metrics_enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto next = static_cast<double>(cum + counts[i]);
+    if (next >= rank) {
+      if (i == counts.size() - 1) return max();  // overflow bucket: no upper edge
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (rank - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return std::clamp(lo + (hi - lo) * within, min(), max());
+    }
+    cum += counts[i];
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.p50 = h->quantile(0.50);
+    hs.p90 = h->quantile(0.90);
+    hs.p99 = h->quantile(0.99);
+    hs.bounds = h->bounds();
+    hs.counts = h->bucket_counts();
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << json_number(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {\"count\": "
+       << h.count << ", \"sum\": " << json_number(h.sum) << ", \"min\": "
+       << json_number(h.min) << ", \"max\": " << json_number(h.max)
+       << ", \"p50\": " << json_number(h.p50) << ", \"p90\": " << json_number(h.p90)
+       << ", \"p99\": " << json_number(h.p99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;  // sparse: only occupied buckets
+      const bool overflow = i == h.bounds.size();
+      os << (first_bucket ? "" : ", ") << "["
+         << (overflow ? json_number(h.max) : json_number(h.bounds[i])) << ", "
+         << h.counts[i] << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "name,kind,value\n";
+  for (const auto& [name, v] : snap.counters) os << name << ",counter," << v << "\n";
+  for (const auto& [name, v] : snap.gauges)
+    os << name << ",gauge," << json_number(v) << "\n";
+  for (const auto& [name, h] : snap.histograms) {
+    os << name << ".count,histogram," << h.count << "\n"
+       << name << ".sum,histogram," << json_number(h.sum) << "\n"
+       << name << ".min,histogram," << json_number(h.min) << "\n"
+       << name << ".max,histogram," << json_number(h.max) << "\n"
+       << name << ".p50,histogram," << json_number(h.p50) << "\n"
+       << name << ".p90,histogram," << json_number(h.p90) << "\n"
+       << name << ".p99,histogram," << json_number(h.p99) << "\n";
+  }
+}
+
+}  // namespace swt

@@ -1,0 +1,161 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms.
+//
+// The paper's headline claim is speedup "at low and scalable overhead"; to
+// measure that, every hot path (training steps, LP/LCS matching, checkpoint
+// I/O, scheduler bookkeeping) reports into one registry that can be
+// snapshotted at the end of a run and serialized as JSON/CSV.  Updates are
+// single relaxed atomic operations so instrumentation stays cheap enough to
+// leave on under `thread_pool` concurrency; `set_metrics_enabled(false)`
+// turns every update into a branch-only no-op (what bench_overhead compares
+// against).  Registration (name -> instrument) takes a mutex once; the
+// returned references stay valid for the registry's lifetime, so call sites
+// can cache them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swt {
+
+/// Runtime kill-switch for every instrument (default: enabled).  Disabled
+/// instruments still exist and read back their old values; they just stop
+/// accumulating.
+void set_metrics_enabled(bool on) noexcept;
+[[nodiscard]] bool metrics_enabled() noexcept;
+
+/// Monotonic integer count (events, bytes, retries, ...).
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept {
+    if (metrics_enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-value or accumulated double (queue depths, seconds totals, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (metrics_enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  /// Atomic accumulate (CAS loop); used for double-valued totals such as
+  /// busy/idle seconds that a Counter's integer domain cannot hold.
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with quantile estimates.
+///
+/// `bounds` are inclusive bucket upper edges, strictly increasing; one
+/// overflow bucket is appended internally.  observe() is one bucket scan
+/// plus relaxed atomic increments, safe from any thread.  Quantiles are
+/// estimated by linear interpolation inside the bucket that crosses the
+/// requested rank (Prometheus-style), clamped to the observed min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double min() const noexcept;  ///< 0 when empty
+  [[nodiscard]] double max() const noexcept;  ///< 0 when empty
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double quantile(double q) const;  ///< q in [0, 1]
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+  /// Log-spaced 1-2-5 edges from 1 microsecond to 1000 seconds — a scale
+  /// that covers every duration this codebase measures.
+  [[nodiscard]] static std::vector<double> default_seconds_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Name -> instrument registry.  get-or-create is mutex-guarded; the
+/// returned references are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first registration of `name`.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every instrument's value; registrations (and cached references)
+  /// survive.  Used between bench repetitions and by tests.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every built-in instrumentation point reports to.
+[[nodiscard]] MetricsRegistry& metrics();
+
+/// Serialize a snapshot as JSON ({"counters": {...}, "gauges": {...},
+/// "histograms": {...}}) or as CSV (name,kind,value rows with histogram
+/// aggregates expanded).
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap);
+
+}  // namespace swt

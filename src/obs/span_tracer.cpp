@@ -1,0 +1,212 @@
+#include "obs/span_tracer.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace swt {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Escaped and quoted — a complete JSON string fragment for TraceEvent args.
+/// Built with append (not operator+) to dodge GCC 12's -Wrestrict false
+/// positive on chained string concatenation (GCC PR 105651).
+std::string quoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void SpanTracer::record(TraceEvent ev) {
+  if (!enabled()) return;
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void SpanTracer::complete(std::string name, std::string cat, int pid, int tid,
+                          double ts_us, double dur_us,
+                          std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void SpanTracer::counter(std::string name, int pid, double ts_us, double value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = "counter";
+  ev.ph = 'C';
+  ev.ts_us = ts_us;
+  ev.pid = pid;
+  ev.args.emplace_back("value", json_number(value));
+  record(std::move(ev));
+}
+
+void SpanTracer::name_process(int pid, const std::string& name) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = "process_name";
+  ev.ph = 'M';
+  ev.pid = pid;
+  ev.args.emplace_back("name", quoted(name));
+  record(std::move(ev));
+}
+
+void SpanTracer::name_track(int pid, int tid, const std::string& name) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = "thread_name";
+  ev.ph = 'M';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args.emplace_back("name", quoted(name));
+  record(std::move(ev));
+}
+
+std::vector<TraceEvent> SpanTracer::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t SpanTracer::size() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void SpanTracer::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+double SpanTracer::wall_now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+int SpanTracer::this_thread_tid() {
+  static std::atomic<int> next_tid{1};
+  thread_local const int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string cat, SpanTracer& tracer)
+    : tracer_(&tracer), name_(std::move(name)), cat_(std::move(cat)) {
+  active_ = tracer_->enabled();
+  if (active_) start_us_ = SpanTracer::wall_now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double end_us = SpanTracer::wall_now_us();
+  tracer_->complete(std::move(name_), std::move(cat_), kTraceWallPid,
+                    SpanTracer::this_thread_tid(), start_us_, end_us - start_us_);
+}
+
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    os << (first ? "\n" : ",\n") << "{\"name\": \"" << json_escape(ev.name)
+       << "\", \"cat\": \"" << json_escape(ev.cat) << "\", \"ph\": \"" << ev.ph
+       << "\", \"ts\": " << json_number(ev.ts_us) << ", \"pid\": " << ev.pid
+       << ", \"tid\": " << ev.tid;
+    if (ev.ph == 'X') os << ", \"dur\": " << json_number(ev.dur_us);
+    if (!ev.args.empty()) {
+      os << ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, raw_json] : ev.args) {
+        os << (first_arg ? "" : ", ") << "\"" << json_escape(key) << "\": " << raw_json;
+        first_arg = false;
+      }
+      os << "}";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+void write_trace_json(const std::string& path, const std::vector<TraceEvent>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_trace_json: cannot open " + path);
+  write_trace_json(out, events);
+  if (!out) throw std::runtime_error("write_trace_json: short write to " + path);
+}
+
+std::vector<TraceEvent> read_trace_json(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  const JsonValue& list = doc.is_array() ? doc : doc.at("traceEvents");
+  if (!list.is_array())
+    throw std::runtime_error("read_trace_json: no traceEvents array");
+
+  std::vector<TraceEvent> events;
+  events.reserve(list.array.size());
+  for (const JsonValue& e : list.array) {
+    if (!e.is_object()) throw std::runtime_error("read_trace_json: event is not an object");
+    TraceEvent ev;
+    ev.name = e.string_or("name", "");
+    ev.cat = e.string_or("cat", "");
+    const std::string ph = e.string_or("ph", "X");
+    ev.ph = ph.empty() ? 'X' : ph[0];
+    ev.ts_us = e.number_or("ts", 0.0);
+    ev.dur_us = e.number_or("dur", 0.0);
+    ev.pid = static_cast<int>(e.number_or("pid", 0.0));
+    ev.tid = static_cast<int>(e.number_or("tid", 0.0));
+    const JsonValue& args = e.at("args");
+    if (args.is_object()) {
+      for (const auto& [key, value] : args.object) {
+        std::string raw;
+        switch (value.kind) {
+          case JsonValue::Kind::kNumber: raw = json_number(value.number); break;
+          case JsonValue::Kind::kString:
+            raw = quoted(value.string);
+            break;
+          case JsonValue::Kind::kBool: raw = value.boolean ? "true" : "false"; break;
+          default: raw = "null";
+        }
+        ev.args.emplace_back(key, std::move(raw));
+      }
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> read_trace_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_json: cannot open " + path);
+  return read_trace_json(in);
+}
+
+}  // namespace swt

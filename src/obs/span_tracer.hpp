@@ -1,0 +1,119 @@
+// Span tracing in Chrome/Perfetto `trace_event` format.
+//
+// Two kinds of timelines share one event buffer, distinguished by pid:
+//
+//   kTraceWallPid    — real threads measured in wall-clock microseconds
+//                      since the process trace epoch (ScopedSpan).
+//   kTraceVirtualPid — the simulated cluster's workers, one track (tid) per
+//                      worker, measured in *virtual* microseconds (virtual
+//                      seconds x 1e6).  run_search emits these, so a whole
+//                      32-worker search renders as per-worker timelines in
+//                      Perfetto / chrome://tracing.
+//
+// Recording is mutex-guarded (span granularity is per-epoch/per-evaluation,
+// not per-instruction) and a disabled tracer rejects events after one
+// relaxed atomic load, so the off-path costs a branch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swt {
+
+/// One trace_event.  `args` values are raw JSON fragments (already quoted
+/// for strings), so numeric counter samples and string annotations both
+/// round-trip through the writer/reader unchanged.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';       ///< X = complete span, C = counter, M = metadata, I = instant
+  double ts_us = 0.0;  ///< start, microseconds (wall or virtual by pid)
+  double dur_us = 0.0; ///< duration of 'X' events
+  int pid = 0;
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+inline constexpr int kTraceWallPid = 1;
+inline constexpr int kTraceVirtualPid = 2;
+
+class SpanTracer {
+ public:
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Append one event (no-op when disabled).
+  void record(TraceEvent ev);
+
+  /// Convenience for 'X' complete spans.
+  void complete(std::string name, std::string cat, int pid, int tid, double ts_us,
+                double dur_us,
+                std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Chrome counter track sample ('C' event with args {"value": value}).
+  void counter(std::string name, int pid, double ts_us, double value);
+
+  /// Metadata events naming a process / track in the Perfetto UI.
+  void name_process(int pid, const std::string& name);
+  void name_track(int pid, int tid, const std::string& name);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// The process-wide tracer all built-in instrumentation reports to;
+  /// disabled until something (nas_cli --trace-out, bench_overhead, tests)
+  /// turns it on.
+  [[nodiscard]] static SpanTracer& global();
+
+  /// Wall microseconds since the process trace epoch.
+  [[nodiscard]] static double wall_now_us() noexcept;
+  /// Small stable integer id for the calling thread (wall-track tid).
+  [[nodiscard]] static int this_thread_tid();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII wall-time span on the calling thread's track.  Nested scopes on the
+/// same thread nest by interval containment, which is exactly how the
+/// trace_event format expresses span nesting.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string cat = "wall",
+                      SpanTracer& tracer = SpanTracer::global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  std::string name_;
+  std::string cat_;
+  double start_us_ = 0.0;
+  bool active_ = false;  ///< tracer was enabled at construction
+};
+
+/// Serialize as {"displayTimeUnit": "ms", "traceEvents": [...]} — the JSON
+/// object form chrome://tracing and Perfetto load directly.
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events);
+void write_trace_json(const std::string& path, const std::vector<TraceEvent>& events);
+
+/// Parse a file written by write_trace_json (throws std::runtime_error on
+/// malformed input).
+[[nodiscard]] std::vector<TraceEvent> read_trace_json(std::istream& is);
+[[nodiscard]] std::vector<TraceEvent> read_trace_json(const std::string& path);
+
+}  // namespace swt
