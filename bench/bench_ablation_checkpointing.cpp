@@ -73,6 +73,7 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("ablation_checkpointing");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();

@@ -13,16 +13,18 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
-#include "common/stats.hpp" 
+#include "common/stats.hpp"
 
 #include "exp/apps.hpp"
 #include "exp/pair_study.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "obs/json.hpp"
 
 namespace swt::bench {
 
@@ -93,6 +95,81 @@ inline std::map<TransferMode, FullTrainAgg> full_training_study(const AppConfig&
   }
   return out;
 }
+
+/// RAII machine-readable results file: declare one at the top of a bench
+/// binary's main() and every banner/table the run prints is also written as
+/// `BENCH_<name>.json` on exit (into $SWTNAS_BENCH_OUT_DIR, default cwd) —
+/// the artifact CI uploads so paper-figure numbers are diffable across
+/// commits without scraping stdout.
+class BenchResultFile {
+ public:
+  explicit BenchResultFile(std::string name) : name_(std::move(name)) {
+    ReportCapture::global().clear();
+    ReportCapture::global().set_enabled(true);
+  }
+
+  BenchResultFile(const BenchResultFile&) = delete;
+  BenchResultFile& operator=(const BenchResultFile&) = delete;
+
+  ~BenchResultFile() {
+    ReportCapture::global().set_enabled(false);
+    try {
+      write();
+    } catch (const std::exception& e) {
+      std::cerr << "warning: BENCH_" << name_ << ".json not written: " << e.what() << "\n";
+    }
+  }
+
+ private:
+  // Cells that parse fully as numbers ("0.823", "42") are emitted as JSON
+  // numbers so downstream diffing needs no coercion; everything else
+  // ("LCS", "0.82 +- 0.04") stays a string.
+  static std::string cell_to_json(const std::string& cell) {
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(cell, &pos);
+      if (pos == cell.size()) return json_number(v);
+    } catch (const std::exception&) {
+    }
+    return '"' + json_escape(cell) + '"';
+  }
+
+  static std::string row_to_json(const std::vector<std::string>& cells) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ',';
+      out += cell_to_json(cells[i]);
+    }
+    return out + "]";
+  }
+
+  void write() const {
+    const char* dir = std::getenv("SWTNAS_BENCH_OUT_DIR");
+    const std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+        "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << "{\"bench\":\"" << json_escape(name_) << "\",\"seeds\":" << bench_seeds()
+        << ",\"evals\":" << bench_evals() << ",\"tables\":[";
+    const auto& tables = ReportCapture::global().tables();
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      if (t) out << ',';
+      out << "{\"section\":\"" << json_escape(tables[t].section) << "\",\"header\":"
+          << row_to_json(tables[t].header) << ",\"rows\":[";
+      for (std::size_t r = 0; r < tables[t].rows.size(); ++r) {
+        if (r) out << ',';
+        out << row_to_json(tables[t].rows[r]);
+      }
+      out << "]}";
+    }
+    out << "]}\n";
+    if (!out) throw std::runtime_error("write failed for " + path);
+    std::cout << "\nbench results written to " << path << "\n";
+  }
+
+  std::string name_;
+};
 
 /// Print the standard header note for a reproduction binary.
 inline void print_repro_note(const std::string& paper_ref) {

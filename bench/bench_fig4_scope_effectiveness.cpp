@@ -59,6 +59,7 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("fig4_scope_effectiveness");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();

@@ -84,6 +84,7 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("fig7_convergence");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();

@@ -62,6 +62,7 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("fig8_full_training_speedup");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();

@@ -78,6 +78,7 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("fig9_kendall_tau");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();

@@ -2,14 +2,18 @@
 // scalable overhead" claim, applied to the observability layer itself).
 //
 // Microbenchmarks price the individual instruments (counter add, histogram
-// observe, span record) in both the enabled and disabled states; the
-// experiment then runs the *same* default NAS search with instrumentation
-// fully off and fully on (metrics + span tracer) and reports the wall-time
-// overhead share.  Target: <= 5% on the default search configuration.
+// observe, span record, event emit) in both the enabled and disabled states;
+// the experiment then runs the *same* default NAS search with
+// instrumentation fully off and fully on (metrics + span tracer + event
+// bus streaming to an in-memory sink) and reports the wall-time overhead
+// share.  Target: <= 5% on the default search configuration.
 #include <benchmark/benchmark.h>
+
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "common/timer.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
 
@@ -54,6 +58,20 @@ void BM_ScopedSpan(benchmark::State& state) {
 }
 BENCHMARK(BM_ScopedSpan)->Arg(0)->Arg(1);
 
+void BM_EventEmit(benchmark::State& state) {
+  EventBus bus;
+  std::ostringstream sink;
+  bus.set_stream(&sink);
+  bus.set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    bus.emit(EventType::kEvalFinished, 1.0, 0, 1, {{"score", "0.5"}});
+    if (sink.tellp() > (1 << 20)) sink.str({});  // keep the sink bounded
+  }
+  benchmark::DoNotOptimize(bus.total_emitted());
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_EventEmit)->Arg(0)->Arg(1);
+
 /// One full default search (nas_cli defaults: mnist / LCS / 8 workers),
 /// returning measured wall seconds.
 double run_once(const AppConfig& app, long evals) {
@@ -75,32 +93,41 @@ void overhead_experiment() {
 
   // min-of-N is the standard way to strip scheduler noise from a
   // wall-time comparison of identical work.
+  std::ostringstream event_sink;
+  EventBus& bus = EventBus::global();
+  bus.set_stream(&event_sink);
   double off_s = 1e300, on_s = 1e300;
   for (int r = 0; r < repeats; ++r) {
     set_metrics_enabled(false);
     SpanTracer::global().set_enabled(false);
+    bus.set_enabled(false);
     off_s = std::min(off_s, run_once(app, evals));
 
     set_metrics_enabled(true);
     SpanTracer::global().set_enabled(true);
+    bus.set_enabled(true);
+    event_sink.str({});
     on_s = std::min(on_s, run_once(app, evals));
   }
   const std::size_t events = SpanTracer::global().size();
+  const long bus_events = bus.total_emitted();
   const MetricsSnapshot snap = metrics().snapshot();
   SpanTracer::global().set_enabled(false);
   SpanTracer::global().clear();
+  bus.set_enabled(false);
+  bus.set_stream(nullptr);
   set_metrics_enabled(true);
 
   const double overhead = off_s > 0.0 ? (on_s - off_s) / off_s : 0.0;
   TableReport table({"instrumentation", "wall s (min of N)", "overhead"});
   table.add_row({"off", TableReport::cell(off_s, 3), "-"});
-  table.add_row({"on (metrics + tracer)", TableReport::cell(on_s, 3),
+  table.add_row({"on (metrics + tracer + events)", TableReport::cell(on_s, 3),
                  TableReport::cell_pct(overhead)});
   table.print(std::cout);
   std::cout << "\nsearch: mnist/LCS, " << evals << " evals, 8 workers, " << repeats
             << " repeats | instruments populated: " << snap.counters.size()
             << " counters, " << snap.histograms.size() << " histograms | span events: "
-            << events << "\n"
+            << events << " | bus events: " << bus_events << "\n"
             << (overhead <= 0.05
                     ? "PASS: overhead within the 5% acceptance target.\n"
                     : "WARN: overhead above the 5% target on this host/run.\n");
@@ -109,6 +136,7 @@ void overhead_experiment() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("overhead");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   overhead_experiment();

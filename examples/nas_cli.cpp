@@ -10,17 +10,24 @@
 // --out, writes the full per-candidate trace.  --metrics-out snapshots the
 // process metrics registry (JSON, or CSV when the path ends in .csv);
 // --trace-out records span timelines and writes Chrome/Perfetto trace_event
-// JSON with one track per virtual worker.
+// JSON with one track per virtual worker.  --events-out streams NDJSON
+// lifecycle events (tailable mid-run; "-" targets stderr), --progress paints
+// a rate-limited heartbeat line on stderr, and --registry-dir appends the
+// run summary to <dir>/registry.ndjson for compare_runs.
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/log.hpp"
 #include "exp/apps.hpp"
+#include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/trace_io.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
 
@@ -35,9 +42,21 @@ using namespace swt;
                "       [--sample N] [--out trace.csv] [--async-ckpt]\n"
                "       [--compress none|fp16|quant8]\n"
                "       [--metrics-out file.json|file.csv] [--trace-out spans.json]\n"
+               "       [--events-out events.ndjson|-] [--progress]\n"
+               "       [--registry-dir DIR] [--fixed-train-seconds S]\n"
                "       [--log-level debug|info|warn|error|off]\n"
                "       [--mtbf S] [--straggler-rate P] [--straggler-mult M]\n"
                "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
+               "\n"
+               "observability:\n"
+               "  --events-out F      stream NDJSON lifecycle events to F (\"-\" = stderr);\n"
+               "                      tail -f the file to watch a running search\n"
+               "  --progress          single-line heartbeat on stderr (evals done/total,\n"
+               "                      best score, virtual time, in-flight workers)\n"
+               "  --registry-dir DIR  append a run summary record to DIR/registry.ndjson\n"
+               "                      (diff runs with compare_runs)\n"
+               "  --fixed-train-seconds S  charge every epoch S virtual seconds instead of\n"
+               "                      measured wall time (makes runs bit-reproducible)\n"
                "\n"
                "fault injection (all off by default; see DESIGN.md):\n"
                "  --mtbf S            mean virtual seconds of compute between worker\n"
@@ -73,6 +92,61 @@ CompressionKind parse_compression(const std::string& name, const char* argv0) {
   usage(argv0);
 }
 
+/// --progress heartbeat, fed by the event bus.  Repaints a single stderr
+/// line at most every 100 ms of wall time (the run_finished event always
+/// paints) so a multi-thousand-eval search stays readable over ssh.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(long total) : total_(total) {}
+
+  // Invoked from EventBus::emit under the bus lock; keep it allocation-light.
+  void on_event(const Event& ev) {
+    switch (ev.type) {
+      case EventType::kEvalStarted: ++started_; break;
+      case EventType::kEvalFinished: ++finished_; break;
+      case EventType::kWorkerCrashed: ++crashed_; break;
+      case EventType::kBestScoreImproved:
+        for (const auto& [key, value] : ev.fields)
+          if (key == "score") best_ = std::stod(value);
+        break;
+      default: break;
+    }
+    if (ev.virtual_s >= 0.0) virtual_s_ = ev.virtual_s;
+    const auto now = std::chrono::steady_clock::now();
+    if (ev.type != EventType::kRunFinished && now - last_paint_ < kMinRepaint) return;
+    last_paint_ = now;
+    paint();
+  }
+
+  void finish() {
+    paint();
+    std::cerr << '\n';
+  }
+
+ private:
+  static constexpr auto kMinRepaint = std::chrono::milliseconds(100);
+
+  void paint() const {
+    std::ostringstream line;
+    line << "\r[nas] " << finished_ << '/' << total_ << " evals  best=";
+    if (best_ > -1e17)
+      line << TableReport::cell(best_);
+    else
+      line << "n/a";
+    line << "  vt=" << TableReport::cell(virtual_s_, 1) << "s  in-flight="
+         << started_ - finished_ - crashed_ << "   ";
+    std::cerr << line.str() << std::flush;
+  }
+
+  long total_;
+  long started_ = 0;
+  long finished_ = 0;
+  long crashed_ = 0;
+  double best_ = -1e18;
+  double virtual_s_ = 0.0;
+  std::chrono::steady_clock::time_point last_paint_{};
+};
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -86,6 +160,9 @@ int main(int argc, char** argv) try {
   std::string out_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string events_out;
+  std::string registry_dir;
+  bool progress = false;
   CompressionKind compression = CompressionKind::kNone;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +181,10 @@ int main(int argc, char** argv) try {
     else if (arg == "--out") out_path = next();
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--events-out") events_out = next();
+    else if (arg == "--registry-dir") registry_dir = next();
+    else if (arg == "--progress") progress = true;
+    else if (arg == "--fixed-train-seconds") cfg.cluster.fixed_train_seconds = std::stod(next());
     else if (arg == "--log-level") {
       const auto level = parse_log_level(next());
       if (!level.has_value()) usage(argv[0]);
@@ -133,7 +214,32 @@ int main(int argc, char** argv) try {
 
   cfg.compression = compression;
   if (!trace_out.empty()) SpanTracer::global().set_enabled(true);
+
+  EventBus& bus = EventBus::global();
+  std::ofstream events_file;
+  if (!events_out.empty()) {
+    if (events_out == "-") {
+      bus.set_stream(&std::cerr);
+    } else {
+      events_file.open(events_out, std::ios::trunc);
+      if (!events_file) throw std::runtime_error("cannot open " + events_out);
+      bus.set_stream(&events_file);
+    }
+  }
+  ProgressMeter meter(cfg.n_evals);
+  if (progress)
+    bus.set_listener([&meter](const Event& ev) { meter.on_event(ev); });
+  if (!events_out.empty() || progress) bus.set_enabled(true);
+
+  const auto wall_start = std::chrono::steady_clock::now();
   const NasRun run = run_nas(app, cfg);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (progress) meter.finish();
+  bus.set_enabled(false);
+  bus.set_listener(nullptr);
+  bus.set_stream(nullptr);
 
   const auto top = top_k(run.trace, 5);
   TableReport table({"rank", "arch", "score", "#params"});
@@ -171,6 +277,17 @@ int main(int argc, char** argv) try {
     write_trace_json(trace_out, SpanTracer::global().events());
     std::cout << "span trace written to " << trace_out
               << " (load in Perfetto or chrome://tracing)\n";
+  }
+  if (!events_out.empty()) {
+    std::cout << bus.total_emitted() << " events ("
+              << bus.emitted(EventType::kEvalFinished) << " eval_finished) streamed to "
+              << (events_out == "-" ? "stderr" : events_out) << "\n";
+  }
+  if (!registry_dir.empty()) {
+    const RunRecord rec = make_run_record(app.name, cfg, run.trace, wall_seconds);
+    append_run_record(registry_dir, rec);
+    std::cout << "run " << rec.run_id << " (config " << rec.config_hash
+              << ") appended to " << registry_dir << "/registry.ndjson\n";
   }
   return 0;
 } catch (const std::exception& e) {

@@ -3,26 +3,37 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/events.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace swt {
 
 namespace {
 
-/// Store-level I/O telemetry: call counts, byte totals, and the modelled
-/// PFS cost distributions the virtual cluster charges to its event clock.
-void record_io(const char* op, const IoStats& stats) {
-  if (!metrics_enabled()) return;
-  MetricsRegistry& m = metrics();
-  if (op[0] == 'w') {
-    m.counter("ckpt.put_total").add();
-    m.counter("ckpt.bytes_written_total").add(static_cast<std::int64_t>(stats.bytes));
-    m.histogram("ckpt.write_cost_seconds").observe(stats.cost_seconds);
-  } else {
-    m.counter("ckpt.get_total").add();
-    m.counter("ckpt.bytes_read_total").add(static_cast<std::int64_t>(stats.bytes));
-    m.histogram("ckpt.read_cost_seconds").observe(stats.cost_seconds);
+/// Store-level I/O telemetry: call counts, byte totals, the modelled PFS
+/// cost distributions the virtual cluster charges to its event clock, and
+/// one ckpt_read / ckpt_write lifecycle event per operation.
+void record_io(const char* op, const std::string& key, const IoStats& stats) {
+  const bool write = op[0] == 'w';
+  if (metrics_enabled()) {
+    MetricsRegistry& m = metrics();
+    if (write) {
+      m.counter("ckpt.put_total").add();
+      m.counter("ckpt.bytes_written_total").add(static_cast<std::int64_t>(stats.bytes));
+      m.histogram("ckpt.write_cost_seconds").observe(stats.cost_seconds);
+    } else {
+      m.counter("ckpt.get_total").add();
+      m.counter("ckpt.bytes_read_total").add(static_cast<std::int64_t>(stats.bytes));
+      m.histogram("ckpt.read_cost_seconds").observe(stats.cost_seconds);
+    }
   }
+  EventBus& bus = EventBus::global();
+  if (bus.enabled())
+    bus.emit(write ? EventType::kCkptWrite : EventType::kCkptRead, -1.0, -1, -1,
+             {{"key", event_str(key)},
+              {"bytes", std::to_string(stats.bytes)},
+              {"cost_s", json_number(stats.cost_seconds)}});
 }
 
 }  // namespace
@@ -43,7 +54,7 @@ std::filesystem::path CheckpointStore::path_for(const std::string& key) const {
 IoStats CheckpointStore::put(const std::string& key, const Checkpoint& ckpt) {
   std::vector<std::byte> bytes = serialize(ckpt, compression_);
   IoStats stats{bytes.size(), model_.write_cost(bytes.size())};
-  record_io("write", stats);
+  record_io("write", key, stats);
   std::scoped_lock lock(mutex_);
   sizes_.push_back(bytes.size());
   total_written_ += bytes.size();
@@ -85,7 +96,7 @@ std::pair<Checkpoint, IoStats> CheckpointStore::get(const std::string& key) cons
   if (!bytes.has_value())
     throw std::out_of_range("CheckpointStore: unknown key " + key);
   IoStats stats{bytes->size(), model_.read_cost(bytes->size())};
-  record_io("read", stats);
+  record_io("read", key, stats);
   return {deserialize(*bytes), stats};
 }
 
@@ -105,7 +116,7 @@ std::optional<std::pair<Checkpoint, IoStats>> CheckpointStore::try_get(
   try {
     IoStats stats{bytes->size(), model_.read_cost(bytes->size())};
     auto result = std::make_pair(deserialize(*bytes), stats);
-    record_io("read", stats);
+    record_io("read", key, stats);
     return result;
   } catch (const std::exception&) {
     if (metrics_enabled()) metrics().counter("ckpt.read_miss_total").add();

@@ -96,6 +96,7 @@ EvalRecord Evaluator::evaluate(long id, const Proposal& proposal, int attempt,
   }();
   rec.train_seconds = train_timer.seconds();
   rec.score = tr.final_objective;
+  rec.first_epoch_score = tr.history.empty() ? tr.final_objective : tr.history.front();
   if (metrics_enabled())
     metrics().histogram("eval.train_seconds").observe(rec.train_seconds);
 

@@ -25,6 +25,10 @@ struct EvalRecord {
   long id = -1;
   ArchSeq arch;
   double score = 0.0;
+  /// Validation objective after the first estimation epoch; equals `score`
+  /// for single-epoch estimation.  Feeds the live early-vs-final Kendall tau
+  /// (obs/quality.hpp), the online form of the paper's Fig. 9 metric.
+  double first_epoch_score = 0.0;
   long parent_id = -1;
   std::string ckpt_key;
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/events.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace swt {
@@ -16,6 +18,23 @@ constexpr std::uint64_t kSaltCrash = 0xC4A5811DULL;
 constexpr std::uint64_t kSaltStraggler = 0x57A661E2ULL;
 constexpr std::uint64_t kSaltCkptWrite = 0xF417731EULL;
 constexpr std::uint64_t kSaltCkptRead = 0xF4177EADULL;
+
+/// Lifecycle events for injected checkpoint-I/O trouble: one ckpt_retry per
+/// operation that saw failed tries, plus ckpt_give_up when the retry budget
+/// ran out.  No-ops when the op succeeded first try or the bus is off.
+void emit_retry_events(const char* op, const std::string& key, long eval_id,
+                       const FaultInjectingStore::OpStats& st) {
+  EventBus& bus = EventBus::global();
+  if (!bus.enabled() || st.failed_tries == 0) return;
+  bus.emit(EventType::kCkptRetry, -1.0, -1, eval_id,
+           {{"op", event_str(op)},
+            {"key", event_str(key)},
+            {"failed_tries", std::to_string(st.failed_tries)},
+            {"retry_s", json_number(st.retry_seconds)}});
+  if (st.gave_up)
+    bus.emit(EventType::kCkptGiveUp, -1.0, -1, eval_id,
+             {{"op", event_str(op)}, {"key", event_str(key)}});
+}
 
 }  // namespace
 
@@ -96,6 +115,7 @@ IoStats FaultInjectingStore::put(const std::string& key, const Checkpoint& ckpt)
       metrics().counter("ckpt.injected_write_failures_total").add(op_.failed_tries);
       metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
     }
+    emit_retry_events("write", key, eval_id_, op_);
     return inner_->put(key, ckpt);
   }
   op_.gave_up = true;  // nothing stored: the candidate is not a provider
@@ -104,6 +124,7 @@ IoStats FaultInjectingStore::put(const std::string& key, const Checkpoint& ckpt)
     metrics().counter("ckpt.giveups_total").add();
     metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
   }
+  emit_retry_events("write", key, eval_id_, op_);
   log_warn("ckpt write gave up after ", op_.failed_tries, " failed tries (eval ",
            eval_id_, ", key ", key, ")");
   return IoStats{};
@@ -130,6 +151,7 @@ std::optional<std::pair<Checkpoint, IoStats>> FaultInjectingStore::try_get(
       metrics().counter("ckpt.injected_read_failures_total").add(op_.failed_tries);
       metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
     }
+    emit_retry_events("read", key, eval_id_, op_);
     return real;
   }
   op_.gave_up = true;
@@ -138,6 +160,7 @@ std::optional<std::pair<Checkpoint, IoStats>> FaultInjectingStore::try_get(
     metrics().counter("ckpt.giveups_total").add();
     metrics().gauge("ckpt.retry_seconds_total").add(op_.retry_seconds);
   }
+  emit_retry_events("read", key, eval_id_, op_);
   log_warn("ckpt read gave up after ", op_.failed_tries, " failed tries (eval ",
            eval_id_, ", key ", key, ")");
   return std::nullopt;

@@ -7,8 +7,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quality.hpp"
 #include "obs/span_tracer.hpp"
 
 namespace swt {
@@ -92,8 +94,9 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
   trace.records.reserve(static_cast<std::size_t>(n_evals));
 
   // Observability: virtual-timeline spans (one Perfetto track per worker)
-  // plus scheduler-level metrics.  All of it is branch-only when the tracer
-  // is off and metrics are disabled.
+  // plus scheduler-level metrics, lifecycle events on the bus and the online
+  // quality telemetry.  All of it is branch-only when the tracer, metrics
+  // and bus are off.
   SpanTracer& tracer = SpanTracer::global();
   if (tracer.enabled()) {
     tracer.name_process(kTraceVirtualPid, "virtual cluster (virtual time)");
@@ -101,6 +104,16 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
     for (int w = 0; w < cfg.num_workers; ++w)
       tracer.name_track(kTraceVirtualPid, w, "worker " + std::to_string(w));
   }
+  EventBus& bus = EventBus::global();
+  bus.emit(EventType::kRunStarted, cfg.clock_origin, -1, -1,
+           {{"n_evals", std::to_string(n_evals)},
+            {"workers", std::to_string(cfg.num_workers)},
+            {"first_eval_id", std::to_string(cfg.first_eval_id)}});
+  // Quality statistics cost O(completed evals) per completion (the
+  // incremental Kendall scan); skip them entirely when nothing consumes
+  // the result.
+  QualityTelemetry quality;
+  const bool quality_on = metrics_enabled() || bus.enabled();
   double busy_seconds = 0.0;      // worker-seconds spent on attempts
   double recovery_seconds = 0.0;  // worker-seconds lost to crash recovery
 
@@ -134,7 +147,11 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
         proposal = strategy.propose(rng);
         id = cfg.first_eval_id + submitted;
         ++submitted;
+        bus.emit(EventType::kEvalSubmitted, clock, -1, id);
       }
+      if (bus.enabled())
+        bus.emit(EventType::kEvalStarted, clock, w, id,
+                 {{"attempt", std::to_string(attempt)}});
       EvalRecord rec = evaluator.evaluate(id, proposal, attempt, faults);
       // In fixed-duration mode (tests) the measured transfer wall time is
       // excluded as well, so the virtual timeline is bit-reproducible; the
@@ -190,6 +207,15 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
           tracer.complete("recovery", "fault", kTraceVirtualPid, w, crash_at * 1e6,
                           cfg.faults.worker_recovery_s * 1e6);
         }
+        if (bus.enabled()) {
+          bus.emit(EventType::kWorkerCrashed, crash_at, w, id,
+                   {{"attempt", std::to_string(rec.attempt)},
+                    {"lost_s", json_number(cd.work_fraction * compute_virtual)}});
+          // The recovery end is known now; emitted eagerly with its virtual
+          // timestamp, so the stream stays strictly append-only.
+          bus.emit(EventType::kWorkerRecovered,
+                   crash_at + cfg.faults.worker_recovery_s, w);
+        }
         worker_free[static_cast<std::size_t>(w)] =
             crash_at + cfg.faults.worker_recovery_s;
         in_flight.push(InFlight{crash_at, std::move(rec), w, /*crashed=*/true,
@@ -236,6 +262,8 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
         resubmit.push_back(
             Resubmit{done.record.id, std::move(done.proposal), done.record.attempt + 1});
         ++trace.resubmissions;
+        bus.emit(EventType::kResubmission, clock, -1, done.record.id,
+                 {{"attempt", std::to_string(done.record.attempt + 1)}});
       } else {
         ++trace.lost_evaluations;  // accounted, never silently dropped
         ++finished;
@@ -248,6 +276,32 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
     trace.retry_seconds += done.record.retry_seconds;
     if (done.record.transfer_fallback) ++trace.transfer_fallbacks;
     if (tracer.enabled()) emit_eval_spans(tracer, done.record);
+    if (bus.enabled()) {
+      bus.emit(EventType::kEvalFinished, done.record.virtual_finish, done.worker,
+               done.record.id,
+               {{"score", json_number(done.record.score)},
+                {"attempt", std::to_string(done.record.attempt)}});
+      if (done.record.tensors_transferred > 0)
+        bus.emit(EventType::kTransferHit, done.record.virtual_finish, done.worker,
+                 done.record.id,
+                 {{"parent", std::to_string(done.record.parent_id)},
+                  {"tensors", std::to_string(done.record.tensors_transferred)},
+                  {"values", std::to_string(done.record.values_transferred)}});
+      if (done.record.transfer_fallback)
+        bus.emit(EventType::kTransferFallback, done.record.virtual_finish, done.worker,
+                 done.record.id);
+    }
+    if (quality_on) {
+      const EvalRecord& r = done.record;
+      const bool improved =
+          quality.observe(QualityObservation{r.id, r.parent_id, r.tensors_transferred > 0,
+                                             r.transfer_fallback, r.first_epoch_score,
+                                             r.score});
+      if (improved)
+        bus.emit(EventType::kBestScoreImproved, r.virtual_finish, r.worker, r.id,
+                 {{"score", json_number(r.score)},
+                  {"evals_seen", std::to_string(quality.evals_seen())}});
+    }
     trace.records.push_back(std::move(done.record));
     ++finished;
   }
@@ -266,6 +320,17 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
     m.gauge("cluster.worker_idle_seconds")
         .add(std::max(0.0, wall - busy_seconds - recovery_seconds));
   }
+  bus.emit(EventType::kRunFinished, trace.makespan, -1, -1,
+           {{"evals", std::to_string(trace.records.size())},
+            {"crashes", std::to_string(trace.crashed_attempts)},
+            {"resubmissions", std::to_string(trace.resubmissions)},
+            {"lost", std::to_string(trace.lost_evaluations)},
+            {"transfer_fallbacks", std::to_string(trace.transfer_fallbacks)},
+            {"makespan", json_number(trace.makespan)},
+            {"best_score", json_number(quality.best_score())},
+            {"transfer_hit_rate", json_number(quality.transfer_hit_rate())},
+            {"mean_lineage_depth", json_number(quality.mean_lineage_depth())},
+            {"kendall_tau_early_final", json_number(quality.early_final_tau())}});
   return trace;
 }
 

@@ -50,10 +50,33 @@ void TableReport::print(std::ostream& os) const {
     os << std::string(widths[c] + 2, '-') << "|";
   os << '\n';
   for (const auto& row : rows_) print_row(row);
+  ReportCapture::global().add_table(header_, rows_);
 }
 
 void print_banner(std::ostream& os, const std::string& title) {
   os << "\n=== " << title << " ===\n";
+  ReportCapture::global().begin_section(title);
+}
+
+ReportCapture& ReportCapture::global() {
+  static ReportCapture capture;
+  return capture;
+}
+
+void ReportCapture::begin_section(std::string title) {
+  if (!enabled_) return;
+  section_ = std::move(title);
+}
+
+void ReportCapture::add_table(const std::vector<std::string>& header,
+                              const std::vector<std::vector<std::string>>& rows) {
+  if (!enabled_) return;
+  tables_.push_back({section_, header, rows});
+}
+
+void ReportCapture::clear() {
+  section_.clear();
+  tables_.clear();
 }
 
 void print_failure_summary(std::ostream& os, const Trace& trace) {

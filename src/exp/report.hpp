@@ -33,6 +33,37 @@ class TableReport {
 /// "=== Fig. 8: full-training speedup (paper: LCS 1.5x, LP 1.4x) ===".
 void print_banner(std::ostream& os, const std::string& title);
 
+/// Process-wide capture of the banners/tables a binary prints, so bench
+/// binaries can additionally persist their results machine-readably
+/// (BENCH_<name>.json) without reshaping every experiment loop: enable the
+/// capture, print as usual, then serialize `tables()`.  Off by default and
+/// deliberately not thread-safe — reporting is a main-thread affair.
+class ReportCapture {
+ public:
+  struct Table {
+    std::string section;  ///< most recent print_banner title ("" before any)
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  static ReportCapture& global();
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void begin_section(std::string title);
+  void add_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+  [[nodiscard]] const std::vector<Table>& tables() const noexcept { return tables_; }
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::string section_;
+  std::vector<Table> tables_;
+};
+
 /// Print a trace's failure accounting (crashes, resubmissions, lost work,
 /// I/O retries, random-init fallbacks).  Prints a single "no faults" line
 /// when the run was clean.

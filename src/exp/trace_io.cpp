@@ -14,6 +14,14 @@ constexpr const char* kHeader =
     "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
     "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
     "ckpt_available_at,virtual_start,virtual_finish,worker,"
+    "attempt,faults,retries,retry_seconds,transfer_fallback,first_epoch_score";
+
+// Traces written before the first_epoch_score column existed.
+constexpr const char* kHeaderV2 =
+    "id,arch,score,parent_id,ckpt_key,param_count,tensors_transferred,"
+    "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
+    "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
+    "ckpt_available_at,virtual_start,virtual_finish,worker,"
     "attempt,faults,retries,retry_seconds,transfer_fallback";
 
 // Traces written before the fault-tolerance columns existed.
@@ -23,7 +31,8 @@ constexpr const char* kLegacyHeader =
     "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
     "ckpt_available_at,virtual_start,virtual_finish,worker";
 
-constexpr std::size_t kColumns = 24;
+constexpr std::size_t kColumns = 25;
+constexpr std::size_t kColumnsV2 = 24;
 constexpr std::size_t kLegacyColumns = 19;
 
 /// Architecture sequences are encoded as '|'-joined ints so the CSV stays
@@ -37,15 +46,6 @@ std::string encode_arch(const ArchSeq& arch) {
   return os.str();
 }
 
-ArchSeq decode_arch(const std::string& text) {
-  ArchSeq arch;
-  if (text.empty()) return arch;
-  std::istringstream is(text);
-  std::string token;
-  while (std::getline(is, token, '|')) arch.push_back(std::stoi(token));
-  return arch;
-}
-
 std::vector<std::string> split_csv_line(const std::string& line) {
   std::vector<std::string> cells;
   std::string cell;
@@ -53,6 +53,93 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   while (std::getline(is, cell, ',')) cells.push_back(cell);
   if (!line.empty() && line.back() == ',') cells.emplace_back();
   return cells;
+}
+
+/// Sequential typed access to one CSV row.  Every conversion failure is
+/// reported with the 1-based file line, the column name and the offending
+/// cell text — a malformed trace should say *where* it is broken, not
+/// surface as a bare std::invalid_argument from std::stod.
+class RowReader {
+ public:
+  RowReader(const std::vector<std::string>& cells, std::size_t line_no)
+      : cells_(&cells), line_no_(line_no) {}
+
+  [[nodiscard]] const std::string& next_raw(const char* col) {
+    if (idx_ >= cells_->size()) throw error(col, "<missing>", "missing cell");
+    ++idx_;
+    return (*cells_)[idx_ - 1];
+  }
+  [[nodiscard]] long next_long(const char* col) {
+    return parse<long>(col, [](const std::string& s, std::size_t* pos) {
+      return std::stol(s, pos);
+    });
+  }
+  [[nodiscard]] int next_int(const char* col) {
+    return parse<int>(col, [](const std::string& s, std::size_t* pos) {
+      return std::stoi(s, pos);
+    });
+  }
+  [[nodiscard]] std::int64_t next_i64(const char* col) {
+    return parse<std::int64_t>(col, [](const std::string& s, std::size_t* pos) {
+      return std::stoll(s, pos);
+    });
+  }
+  [[nodiscard]] std::uint64_t next_u64(const char* col) {
+    return parse<std::uint64_t>(col, [](const std::string& s, std::size_t* pos) {
+      return std::stoull(s, pos);
+    });
+  }
+  [[nodiscard]] unsigned next_unsigned(const char* col) {
+    return parse<unsigned>(col, [](const std::string& s, std::size_t* pos) {
+      return static_cast<unsigned>(std::stoul(s, pos));
+    });
+  }
+  [[nodiscard]] double next_double(const char* col) {
+    return parse<double>(col, [](const std::string& s, std::size_t* pos) {
+      return std::stod(s, pos);
+    });
+  }
+
+  [[nodiscard]] std::runtime_error error(const char* col, const std::string& cell,
+                                         const char* why) const {
+    return std::runtime_error("read_trace_csv: line " + std::to_string(line_no_) +
+                              ", column '" + col + "': " + why + " \"" + cell + "\"");
+  }
+
+ private:
+  template <typename T, typename Fn>
+  [[nodiscard]] T parse(const char* col, Fn convert) {
+    const std::string& cell = next_raw(col);
+    try {
+      std::size_t pos = 0;
+      const T v = convert(cell, &pos);
+      if (pos != cell.size()) throw std::invalid_argument("trailing characters");
+      return v;
+    } catch (const std::exception&) {
+      throw error(col, cell, "invalid value");
+    }
+  }
+
+  const std::vector<std::string>* cells_;
+  std::size_t line_no_;
+  std::size_t idx_ = 0;
+};
+
+ArchSeq decode_arch(const std::string& text, const RowReader& row) {
+  ArchSeq arch;
+  if (text.empty()) return arch;
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, '|')) {
+    try {
+      std::size_t pos = 0;
+      arch.push_back(std::stoi(token, &pos));
+      if (pos != token.size()) throw std::invalid_argument("trailing characters");
+    } catch (const std::exception&) {
+      throw row.error("arch", text, "invalid op id in");
+    }
+  }
+  return arch;
 }
 
 }  // namespace
@@ -76,7 +163,7 @@ void write_trace_csv(std::ostream& os, const Trace& trace) {
        << r.ckpt_write_charged << ',' << r.ckpt_read_wait << ',' << r.ckpt_available_at
        << ',' << r.virtual_start << ',' << r.virtual_finish << ',' << r.worker << ','
        << r.attempt << ',' << r.faults << ',' << r.retries << ',' << r.retry_seconds
-       << ',' << (r.transfer_fallback ? 1 : 0) << '\n';
+       << ',' << (r.transfer_fallback ? 1 : 0) << ',' << r.first_epoch_score << '\n';
   }
 }
 
@@ -100,53 +187,67 @@ Trace read_trace_csv(std::istream& is) {
       if (eq == std::string::npos) continue;
       const std::string key = token.substr(0, eq);
       const std::string value = token.substr(eq + 1);
-      if (key.ends_with("num_workers")) trace.num_workers = std::stoi(value);
-      if (key.ends_with("makespan")) trace.makespan = std::stod(value);
-      if (key.ends_with("crashed_attempts")) trace.crashed_attempts = std::stol(value);
-      if (key.ends_with("resubmissions")) trace.resubmissions = std::stol(value);
-      if (key.ends_with("lost_evaluations")) trace.lost_evaluations = std::stol(value);
-      if (key.ends_with("lost_train_seconds")) trace.lost_train_seconds = std::stod(value);
-      if (key.ends_with("retry_seconds")) trace.retry_seconds = std::stod(value);
-      if (key.ends_with("transfer_fallbacks")) trace.transfer_fallbacks = std::stol(value);
+      try {
+        if (key.ends_with("num_workers")) trace.num_workers = std::stoi(value);
+        if (key.ends_with("makespan")) trace.makespan = std::stod(value);
+        if (key.ends_with("crashed_attempts")) trace.crashed_attempts = std::stol(value);
+        if (key.ends_with("resubmissions")) trace.resubmissions = std::stol(value);
+        if (key.ends_with("lost_evaluations")) trace.lost_evaluations = std::stol(value);
+        if (key.ends_with("lost_train_seconds")) trace.lost_train_seconds = std::stod(value);
+        if (key.ends_with("retry_seconds")) trace.retry_seconds = std::stod(value);
+        if (key.ends_with("transfer_fallbacks")) trace.transfer_fallbacks = std::stol(value);
+      } catch (const std::exception&) {
+        throw std::runtime_error("read_trace_csv: line 1, preamble key '" + key +
+                                 "': invalid value \"" + value + "\"");
+      }
     }
   }
-  if (!std::getline(is, line) || (line != kHeader && line != kLegacyHeader))
+  if (!std::getline(is, line) ||
+      (line != kHeader && line != kHeaderV2 && line != kLegacyHeader))
     throw std::runtime_error("read_trace_csv: unexpected header");
-  const std::size_t want = line == kHeader ? kColumns : kLegacyColumns;
+  const std::size_t want =
+      line == kHeader ? kColumns : (line == kHeaderV2 ? kColumnsV2 : kLegacyColumns);
+  std::size_t line_no = 2;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
     if (cells.size() != want)
-      throw std::runtime_error("read_trace_csv: expected " + std::to_string(want) +
-                               " columns, got " + std::to_string(cells.size()));
+      throw std::runtime_error("read_trace_csv: line " + std::to_string(line_no) +
+                               ": expected " + std::to_string(want) + " columns, got " +
+                               std::to_string(cells.size()));
+    RowReader row(cells, line_no);
     EvalRecord r;
-    std::size_t c = 0;
-    r.id = std::stol(cells[c++]);
-    r.arch = decode_arch(cells[c++]);
-    r.score = std::stod(cells[c++]);
-    r.parent_id = std::stol(cells[c++]);
-    r.ckpt_key = cells[c++];
-    r.param_count = std::stoll(cells[c++]);
-    r.tensors_transferred = std::stoull(cells[c++]);
-    r.values_transferred = std::stoull(cells[c++]);
-    r.train_seconds = std::stod(cells[c++]);
-    r.transfer_seconds = std::stod(cells[c++]);
-    r.ckpt_read_cost = std::stod(cells[c++]);
-    r.ckpt_write_cost = std::stod(cells[c++]);
-    r.ckpt_bytes = std::stoull(cells[c++]);
-    r.ckpt_write_charged = std::stod(cells[c++]);
-    r.ckpt_read_wait = std::stod(cells[c++]);
-    r.ckpt_available_at = std::stod(cells[c++]);
-    r.virtual_start = std::stod(cells[c++]);
-    r.virtual_finish = std::stod(cells[c++]);
-    r.worker = std::stoi(cells[c++]);
-    if (want == kColumns) {
-      r.attempt = std::stoi(cells[c++]);
-      r.faults = static_cast<unsigned>(std::stoul(cells[c++]));
-      r.retries = std::stoi(cells[c++]);
-      r.retry_seconds = std::stod(cells[c++]);
-      r.transfer_fallback = cells[c++] != "0";
+    r.id = row.next_long("id");
+    r.arch = decode_arch(row.next_raw("arch"), row);
+    r.score = row.next_double("score");
+    r.parent_id = row.next_long("parent_id");
+    r.ckpt_key = row.next_raw("ckpt_key");
+    r.param_count = row.next_i64("param_count");
+    r.tensors_transferred = row.next_u64("tensors_transferred");
+    r.values_transferred = row.next_u64("values_transferred");
+    r.train_seconds = row.next_double("train_seconds");
+    r.transfer_seconds = row.next_double("transfer_seconds");
+    r.ckpt_read_cost = row.next_double("ckpt_read_cost");
+    r.ckpt_write_cost = row.next_double("ckpt_write_cost");
+    r.ckpt_bytes = row.next_u64("ckpt_bytes");
+    r.ckpt_write_charged = row.next_double("ckpt_write_charged");
+    r.ckpt_read_wait = row.next_double("ckpt_read_wait");
+    r.ckpt_available_at = row.next_double("ckpt_available_at");
+    r.virtual_start = row.next_double("virtual_start");
+    r.virtual_finish = row.next_double("virtual_finish");
+    r.worker = row.next_int("worker");
+    if (want >= kColumnsV2) {
+      r.attempt = row.next_int("attempt");
+      r.faults = row.next_unsigned("faults");
+      r.retries = row.next_int("retries");
+      r.retry_seconds = row.next_double("retry_seconds");
+      r.transfer_fallback = row.next_raw("transfer_fallback") != "0";
     }
+    // Older formats carry no first-epoch score; the final score is the
+    // correct degenerate value (single-epoch estimation has them equal).
+    r.first_epoch_score =
+        want == kColumns ? row.next_double("first_epoch_score") : r.score;
     trace.records.push_back(std::move(r));
   }
   return trace;

@@ -1,0 +1,118 @@
+#include "obs/events.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/span_tracer.hpp"
+
+namespace swt {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kRunStarted: return "run_started";
+    case EventType::kEvalSubmitted: return "eval_submitted";
+    case EventType::kEvalStarted: return "eval_started";
+    case EventType::kEvalFinished: return "eval_finished";
+    case EventType::kTransferHit: return "transfer_hit";
+    case EventType::kTransferFallback: return "transfer_fallback";
+    case EventType::kCkptRead: return "ckpt_read";
+    case EventType::kCkptWrite: return "ckpt_write";
+    case EventType::kCkptRetry: return "ckpt_retry";
+    case EventType::kCkptGiveUp: return "ckpt_give_up";
+    case EventType::kWorkerCrashed: return "worker_crashed";
+    case EventType::kWorkerRecovered: return "worker_recovered";
+    case EventType::kResubmission: return "resubmission";
+    case EventType::kBestScoreImproved: return "best_score_improved";
+    case EventType::kRunFinished: return "run_finished";
+  }
+  return "unknown";
+}
+
+std::string event_str(std::string_view s) { return '"' + json_escape(s) + '"'; }
+
+std::string event_to_ndjson(const Event& ev) {
+  std::string line = "{\"ev\":\"";
+  line += to_string(ev.type);
+  line += "\",\"t\":";
+  line += json_number(ev.wall_s);
+  if (ev.virtual_s >= 0.0) {
+    line += ",\"vt\":";
+    line += json_number(ev.virtual_s);
+  }
+  if (ev.worker >= 0) {
+    line += ",\"worker\":";
+    line += std::to_string(ev.worker);
+  }
+  if (ev.eval_id >= 0) {
+    line += ",\"id\":";
+    line += std::to_string(ev.eval_id);
+  }
+  for (const auto& [key, value] : ev.fields) {
+    line += ",\"";
+    line += json_escape(key);
+    line += "\":";
+    line += value;
+  }
+  line += '}';
+  return line;
+}
+
+void EventBus::set_stream(std::ostream* os) {
+  std::scoped_lock lock(mutex_);
+  stream_ = os;
+}
+
+void EventBus::set_listener(Listener listener) {
+  std::scoped_lock lock(mutex_);
+  listener_ = std::move(listener);
+}
+
+void EventBus::emit(Event ev) {
+  if (!enabled()) return;
+  ev.wall_s = SpanTracer::wall_now_us() / 1e6;
+  // Serialize outside the lock; only the write and the counters contend.
+  const std::string line = event_to_ndjson(ev);
+  std::scoped_lock lock(mutex_);
+  ++counts_[static_cast<std::size_t>(ev.type)];
+  ++total_;
+  if (stream_ != nullptr) {
+    *stream_ << line << '\n';
+    stream_->flush();  // keeps the file tailable mid-run
+  }
+  if (listener_) listener_(ev);
+}
+
+void EventBus::emit(EventType type, double virtual_s, int worker, long eval_id,
+                    std::vector<std::pair<std::string, std::string>> fields) {
+  if (!enabled()) return;
+  Event ev;
+  ev.type = type;
+  ev.virtual_s = virtual_s;
+  ev.worker = worker;
+  ev.eval_id = eval_id;
+  ev.fields = std::move(fields);
+  emit(std::move(ev));
+}
+
+long EventBus::total_emitted() const {
+  std::scoped_lock lock(mutex_);
+  return total_;
+}
+
+long EventBus::emitted(EventType type) const {
+  std::scoped_lock lock(mutex_);
+  return counts_[static_cast<std::size_t>(type)];
+}
+
+void EventBus::reset_counts() {
+  std::scoped_lock lock(mutex_);
+  for (long& c : counts_) c = 0;
+  total_ = 0;
+}
+
+EventBus& EventBus::global() {
+  static EventBus bus;
+  return bus;
+}
+
+}  // namespace swt

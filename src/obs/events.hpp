@@ -1,0 +1,119 @@
+// Streaming lifecycle events for live observation of a running search.
+//
+// MetricsRegistry and SpanTracer answer "what happened" after a run ends;
+// the event bus answers "what is happening now": every lifecycle transition
+// of a search (run/eval boundaries, transfer outcomes, checkpoint I/O,
+// crashes, resubmissions, best-score improvements) is emitted as one NDJSON
+// object on its own line, so a multi-hour search can be tailed with
+// `tail -f run.ndjson | jq`.  Each event is stamped with wall seconds since
+// the process trace epoch, the virtual-cluster time, and the worker/eval it
+// concerns (-1 when not applicable).
+//
+// The bus is kill-switchable like the other instruments: a disabled bus
+// rejects events after one relaxed atomic load, so the off-path costs a
+// branch and call sites can stay unconditional.  Emission serializes the
+// line under a mutex (event granularity is per-evaluation, not
+// per-instruction), writes it to the attached stream, and hands the raw
+// Event to an optional in-process listener (nas_cli's --progress heartbeat).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swt {
+
+enum class EventType {
+  kRunStarted,
+  kEvalSubmitted,
+  kEvalStarted,
+  kEvalFinished,
+  kTransferHit,
+  kTransferFallback,
+  kCkptRead,
+  kCkptWrite,
+  kCkptRetry,
+  kCkptGiveUp,
+  kWorkerCrashed,
+  kWorkerRecovered,
+  kResubmission,
+  kBestScoreImproved,
+  kRunFinished,
+};
+
+inline constexpr std::size_t kNumEventTypes = 15;
+
+/// Stable NDJSON name of `type` ("run_started", "eval_finished", ...).
+[[nodiscard]] const char* to_string(EventType type) noexcept;
+
+/// One lifecycle event.  `fields` values are raw JSON fragments (numbers as
+/// formatted by json_number, strings pre-quoted via event_str), mirroring
+/// TraceEvent::args so both layers share one convention.
+struct Event {
+  EventType type = EventType::kRunStarted;
+  double wall_s = 0.0;     ///< wall seconds since the process trace epoch
+  double virtual_s = -1.0; ///< virtual-cluster seconds; < 0 = not applicable
+  int worker = -1;
+  long eval_id = -1;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Quote + escape `s` for use as an Event field value.
+[[nodiscard]] std::string event_str(std::string_view s);
+
+class EventBus {
+ public:
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Attach the NDJSON output stream (not owned; nullptr detaches).  The
+  /// stream is flushed after every line so the file can be tailed live.
+  void set_stream(std::ostream* os);
+
+  /// In-process observer invoked (under the bus lock) with every emitted
+  /// event; an empty function detaches.  Used by nas_cli's --progress.
+  using Listener = std::function<void(const Event&)>;
+  void set_listener(Listener listener);
+
+  /// Emit one event (no-op when disabled).
+  void emit(Event ev);
+
+  /// Convenience overload building the Event in place.
+  void emit(EventType type, double virtual_s = -1.0, int worker = -1, long eval_id = -1,
+            std::vector<std::pair<std::string, std::string>> fields = {});
+
+  /// Events emitted since construction / reset(), total and per type.
+  /// Tests and nas_cli reconcile these against the Trace's failure counters.
+  [[nodiscard]] long total_emitted() const;
+  [[nodiscard]] long emitted(EventType type) const;
+
+  /// Zero the emission counters (stream and listener stay attached).
+  void reset_counts();
+
+  /// The process-wide bus all built-in emission points report to; disabled
+  /// until something (nas_cli --events-out/--progress, tests) turns it on.
+  [[nodiscard]] static EventBus& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::ostream* stream_ = nullptr;
+  Listener listener_;
+  long counts_[kNumEventTypes] = {};
+  long total_ = 0;
+};
+
+/// Serialize one event as a single-line JSON object (no trailing newline):
+/// {"ev":"eval_finished","t":1.25,"vt":310.5,"worker":3,"id":17,...fields}.
+/// `vt`, `worker` and `id` are omitted when not applicable.
+[[nodiscard]] std::string event_to_ndjson(const Event& ev);
+
+}  // namespace swt

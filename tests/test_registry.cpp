@@ -1,0 +1,185 @@
+#include "exp/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "exp/apps.hpp"
+
+namespace swt {
+namespace {
+
+RunRecord sample_record() {
+  RunRecord rec;
+  rec.run_id = "MNIST-LCS-s7-123";
+  rec.timestamp = "2026-08-05T12:00:00Z";
+  rec.git_describe = "v0-42-gabc";
+  rec.app = "MNIST";
+  rec.mode = "LCS";
+  rec.seed = 7;
+  rec.n_evals = 20;
+  rec.workers = 4;
+  rec.config_hash = "79122d1501a924ba";
+  rec.best_score = 1.0;
+  rec.top_scores = {1.0, 0.96875, 0.5};
+  rec.makespan = 10.25;
+  rec.ckpt_overhead_s = 0.52;
+  rec.wall_seconds = 0.31;
+  rec.evals_completed = 20;
+  rec.crashed_attempts = 2;
+  rec.resubmissions = 2;
+  rec.lost_evaluations = 1;
+  rec.transfer_fallbacks = 3;
+  rec.transfer_hit_rate = 0.2;
+  rec.kendall_tau_early_final = 0.87;
+  rec.mean_lineage_depth = 1.2;
+  return rec;
+}
+
+TEST(Registry, RecordRoundTripsThroughJson) {
+  const RunRecord a = sample_record();
+  const RunRecord b = parse_run_record(run_record_to_json(a));
+  EXPECT_EQ(b.run_id, a.run_id);
+  EXPECT_EQ(b.timestamp, a.timestamp);
+  EXPECT_EQ(b.git_describe, a.git_describe);
+  EXPECT_EQ(b.app, a.app);
+  EXPECT_EQ(b.mode, a.mode);
+  EXPECT_EQ(b.seed, a.seed);
+  EXPECT_EQ(b.n_evals, a.n_evals);
+  EXPECT_EQ(b.workers, a.workers);
+  EXPECT_EQ(b.config_hash, a.config_hash);
+  EXPECT_DOUBLE_EQ(b.best_score, a.best_score);
+  ASSERT_EQ(b.top_scores.size(), a.top_scores.size());
+  for (std::size_t i = 0; i < a.top_scores.size(); ++i)
+    EXPECT_DOUBLE_EQ(b.top_scores[i], a.top_scores[i]);
+  EXPECT_DOUBLE_EQ(b.makespan, a.makespan);
+  EXPECT_DOUBLE_EQ(b.ckpt_overhead_s, a.ckpt_overhead_s);
+  EXPECT_DOUBLE_EQ(b.wall_seconds, a.wall_seconds);
+  EXPECT_EQ(b.evals_completed, a.evals_completed);
+  EXPECT_EQ(b.crashed_attempts, a.crashed_attempts);
+  EXPECT_EQ(b.resubmissions, a.resubmissions);
+  EXPECT_EQ(b.lost_evaluations, a.lost_evaluations);
+  EXPECT_EQ(b.transfer_fallbacks, a.transfer_fallbacks);
+  EXPECT_DOUBLE_EQ(b.transfer_hit_rate, a.transfer_hit_rate);
+  EXPECT_DOUBLE_EQ(b.kendall_tau_early_final, a.kendall_tau_early_final);
+  EXPECT_DOUBLE_EQ(b.mean_lineage_depth, a.mean_lineage_depth);
+}
+
+TEST(Registry, ParseRejectsMalformedLine) {
+  EXPECT_THROW((void)parse_run_record("not json"), std::runtime_error);
+  EXPECT_THROW((void)parse_run_record("[1,2,3]"), std::runtime_error);
+}
+
+TEST(Registry, AppendAndReadBack) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "swtnas_registry_test").string();
+  std::filesystem::remove_all(dir);
+  EXPECT_TRUE(read_registry(dir).empty());  // no registry yet: empty, not an error
+
+  RunRecord first = sample_record();
+  append_run_record(dir, first);
+  RunRecord second = sample_record();
+  second.run_id = "MNIST-LCS-s8-456";
+  second.seed = 8;
+  append_run_record(dir, second);
+
+  const std::vector<RunRecord> records = read_registry(dir);
+  ASSERT_EQ(records.size(), 2u);  // append-only: both survive
+  EXPECT_EQ(records[0].run_id, first.run_id);
+  EXPECT_EQ(records[1].run_id, second.run_id);
+  EXPECT_EQ(records[1].seed, 8u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Registry, ConfigHashIsStableAndSensitive) {
+  NasRunConfig cfg;
+  cfg.mode = TransferMode::kLCS;
+  cfg.n_evals = 20;
+  cfg.seed = 7;
+  const std::string h1 = config_hash("MNIST", cfg);
+  EXPECT_EQ(h1, config_hash("MNIST", cfg));  // deterministic
+  EXPECT_EQ(h1.size(), 16u);                 // hex64
+
+  NasRunConfig other = cfg;
+  other.seed = 8;
+  EXPECT_NE(h1, config_hash("MNIST", other));
+  other = cfg;
+  other.cluster.faults.mtbf_seconds = 30.0;
+  EXPECT_NE(h1, config_hash("MNIST", other));
+  EXPECT_NE(h1, config_hash("CIFAR", cfg));
+}
+
+TEST(Registry, CompareFlagsNothingOnIdenticalRuns) {
+  const RunRecord rec = sample_record();
+  EXPECT_TRUE(compare_records(rec, rec, RegressionThresholds{}).empty());
+}
+
+TEST(Registry, CompareFlagsScoreDrop) {
+  const RunRecord base = sample_record();
+  RunRecord cand = base;
+  cand.best_score = base.best_score - 0.05;
+  cand.top_scores[0] = cand.best_score;
+  const auto regs = compare_records(base, cand, {.score_drop = 0.01});
+  ASSERT_FALSE(regs.empty());
+  EXPECT_EQ(regs.front().metric, "best_score");
+}
+
+TEST(Registry, CompareToleratesDropWithinThreshold) {
+  const RunRecord base = sample_record();
+  RunRecord cand = base;
+  cand.best_score = base.best_score - 0.05;
+  cand.top_scores[0] = cand.best_score;
+  EXPECT_TRUE(compare_records(base, cand, {.score_drop = 0.1}).empty());
+}
+
+TEST(Registry, CompareFlagsMakespanAndOverheadGrowth) {
+  const RunRecord base = sample_record();
+  RunRecord cand = base;
+  cand.makespan = base.makespan * 1.5;
+  cand.ckpt_overhead_s = base.ckpt_overhead_s * 3.0;
+  const auto regs =
+      compare_records(base, cand, {.makespan_slack = 0.25, .overhead_slack = 1.0});
+  ASSERT_EQ(regs.size(), 2u);
+  EXPECT_EQ(regs[0].metric, "makespan");
+  EXPECT_EQ(regs[1].metric, "ckpt_overhead_s");
+  // Negative slack disables the checks entirely.
+  EXPECT_TRUE(
+      compare_records(base, cand, {.makespan_slack = -1.0, .overhead_slack = -1.0})
+          .empty());
+}
+
+TEST(Registry, CompareFlagsReliabilityCounters) {
+  const RunRecord base = sample_record();
+  RunRecord cand = base;
+  cand.crashed_attempts = base.crashed_attempts + 1;
+  cand.lost_evaluations = base.lost_evaluations + 2;
+  const auto regs = compare_records(base, cand, {.extra_crashes = 0, .extra_lost = 1});
+  ASSERT_EQ(regs.size(), 2u);
+  EXPECT_EQ(regs[0].metric, "crashed_attempts");
+  EXPECT_EQ(regs[1].metric, "lost_evaluations");
+  EXPECT_TRUE(compare_records(base, cand, {.extra_crashes = 1, .extra_lost = 2}).empty());
+}
+
+TEST(Registry, CompareFlagsFewerCompletedEvals) {
+  const RunRecord base = sample_record();
+  RunRecord cand = base;
+  cand.evals_completed = base.evals_completed - 1;
+  const auto regs = compare_records(base, cand, RegressionThresholds{});
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_EQ(regs.front().metric, "evals_completed");
+}
+
+TEST(Registry, ImprovementsNeverFlag) {
+  const RunRecord base = sample_record();
+  RunRecord cand = base;
+  cand.best_score = base.best_score + 0.1;
+  cand.makespan = base.makespan * 0.5;
+  cand.ckpt_overhead_s = 0.0;
+  cand.crashed_attempts = 0;
+  cand.lost_evaluations = 0;
+  cand.evals_completed = base.evals_completed + 5;
+  EXPECT_TRUE(compare_records(base, cand, RegressionThresholds{}).empty());
+}
+
+}  // namespace
+}  // namespace swt

@@ -154,6 +154,114 @@ TEST(TraceIo, ReadsLegacyTracesWithoutFaultColumns) {
   EXPECT_EQ(restored.lost_evaluations, 0);
 }
 
+TEST(TraceIo, FirstEpochScoreRoundTrips) {
+  Trace original;
+  original.num_workers = 1;
+  EvalRecord r;
+  r.id = 1;
+  r.score = 0.75;
+  r.first_epoch_score = 0.25;
+  original.records.push_back(r);
+  std::stringstream ss;
+  write_trace_csv(ss, original);
+  const Trace restored = read_trace_csv(ss);
+  ASSERT_EQ(restored.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(restored.records[0].first_epoch_score, 0.25);
+}
+
+TEST(TraceIo, LegacyTraceDefaultsFirstEpochScoreToFinal) {
+  // V2 header (24 columns, pre-first_epoch_score).
+  const std::string text =
+      "# swtnas trace, num_workers=1, makespan=1\n"
+      "id,arch,score,parent_id,ckpt_key,param_count,tensors_transferred,"
+      "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
+      "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
+      "ckpt_available_at,virtual_start,virtual_finish,worker,"
+      "attempt,faults,retries,retry_seconds,transfer_fallback\n"
+      "0,1,0.625,-1,ck-0,10,0,0,1,0,0,0,0,0,0,1,0,1,0,0,0,0,0,0\n";
+  std::stringstream ss(text);
+  const Trace restored = read_trace_csv(ss);
+  ASSERT_EQ(restored.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(restored.records[0].first_epoch_score, 0.625);
+}
+
+// A corrupt cell must be reported with its file line and column name, not
+// as a bare std::invalid_argument out of std::stod.
+TEST(TraceIo, CorruptCellReportsLineAndColumn) {
+  std::stringstream out;
+  Trace t;
+  EvalRecord r;
+  r.id = 3;
+  t.records.push_back(r);
+  write_trace_csv(out, t);
+  std::string text = out.str();
+  const auto pos = text.find("3,,0");  // id,arch,score of the only data row
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "3,,xy");  // score becomes "xy"
+  std::stringstream in(text);
+  try {
+    (void)read_trace_csv(in);
+    FAIL() << "expected read_trace_csv to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 'score'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"xy\""), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceIo, TrailingGarbageInNumericCellIsRejected) {
+  std::stringstream out;
+  Trace t;
+  EvalRecord r;
+  r.id = 3;
+  t.records.push_back(r);
+  write_trace_csv(out, t);
+  std::string text = out.str();
+  const auto pos = text.find("\n3,");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "\n3x,");  // id becomes "3x": stol would accept the prefix
+  std::stringstream in(text);
+  try {
+    (void)read_trace_csv(in);
+    FAIL() << "expected read_trace_csv to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("column 'id'"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceIo, CorruptArchOpReportsArchColumn) {
+  const std::string text =
+      "# swtnas trace, num_workers=1, makespan=1\n"
+      "id,arch,score,parent_id,ckpt_key,param_count,tensors_transferred,"
+      "values_transferred,train_seconds,transfer_seconds,ckpt_read_cost,"
+      "ckpt_write_cost,ckpt_bytes,ckpt_write_charged,ckpt_read_wait,"
+      "ckpt_available_at,virtual_start,virtual_finish,worker\n"
+      "0,1|oops|3,0.5,-1,ck-0,10,0,0,1,0,0,0,0,0,0,1,0,1,0\n";
+  std::stringstream in(text);
+  try {
+    (void)read_trace_csv(in);
+    FAIL() << "expected read_trace_csv to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("column 'arch'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceIo, CorruptPreambleValueReportsKey) {
+  std::stringstream in("# swtnas trace, num_workers=two, makespan=0\n");
+  try {
+    (void)read_trace_csv(in);
+    FAIL() << "expected read_trace_csv to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("num_workers"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"two\""), std::string::npos) << msg;
+  }
+}
+
 TEST(TraceIo, RejectsMissingPreamble) {
   std::stringstream ss("id,arch\n1,2\n");
   EXPECT_THROW((void)read_trace_csv(ss), std::runtime_error);
