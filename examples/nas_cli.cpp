@@ -30,6 +30,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
+#include "tensor/kernels.hpp"
 
 namespace {
 
@@ -44,6 +45,7 @@ using namespace swt;
                "       [--metrics-out file.json|file.csv] [--trace-out spans.json]\n"
                "       [--events-out events.ndjson|-] [--progress]\n"
                "       [--registry-dir DIR] [--fixed-train-seconds S]\n"
+               "       [--compute-threads N]\n"
                "       [--log-level debug|info|warn|error|off]\n"
                "       [--mtbf S] [--straggler-rate P] [--straggler-mult M]\n"
                "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
@@ -57,6 +59,9 @@ using namespace swt;
                "                      (diff runs with compare_runs)\n"
                "  --fixed-train-seconds S  charge every epoch S virtual seconds instead of\n"
                "                      measured wall time (makes runs bit-reproducible)\n"
+               "  --compute-threads N  row partitions for the blocked GEMM/conv kernels\n"
+               "                      (default: SWT_THREADS env, else hardware threads;\n"
+               "                      results are bit-identical for every value)\n"
                "\n"
                "fault injection (all off by default; see DESIGN.md):\n"
                "  --mtbf S            mean virtual seconds of compute between worker\n"
@@ -185,6 +190,7 @@ int main(int argc, char** argv) try {
     else if (arg == "--registry-dir") registry_dir = next();
     else if (arg == "--progress") progress = true;
     else if (arg == "--fixed-train-seconds") cfg.cluster.fixed_train_seconds = std::stod(next());
+    else if (arg == "--compute-threads") kernels::set_compute_threads(std::stoi(next()));
     else if (arg == "--log-level") {
       const auto level = parse_log_level(next());
       if (!level.has_value()) usage(argv[0]);
@@ -210,7 +216,8 @@ int main(int argc, char** argv) try {
   std::cout << "app=" << app.name << " mode=" << to_string(cfg.mode)
             << " evals=" << cfg.n_evals << " workers=" << cfg.cluster.num_workers
             << " seed=" << cfg.seed << " async=" << cfg.cluster.async_checkpointing
-            << " compress=" << to_string(compression) << "\n";
+            << " compress=" << to_string(compression)
+            << " compute-threads=" << kernels::compute_threads() << "\n";
 
   cfg.compression = compression;
   if (!trace_out.empty()) SpanTracer::global().set_enabled(true);

@@ -153,9 +153,15 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
         bus.emit(EventType::kEvalStarted, clock, w, id,
                  {{"attempt", std::to_string(attempt)}});
       EvalRecord rec = evaluator.evaluate(id, proposal, attempt, faults);
-      // In fixed-duration mode (tests) the measured transfer wall time is
-      // excluded as well, so the virtual timeline is bit-reproducible; the
-      // mechanism cost is micro-seconds here and <150 ms in the paper.
+      // In fixed-duration mode (tests, CI baselines) the measured train and
+      // transfer wall times are excluded from the virtual timeline *and*
+      // overwritten in the record, so the whole persisted trace — not just
+      // the clock — is bit-reproducible; the mechanism cost is micro-seconds
+      // here and <150 ms in the paper.
+      if (cfg.fixed_train_seconds >= 0.0) {
+        rec.train_seconds = cfg.fixed_train_seconds;
+        rec.transfer_seconds = 0.0;
+      }
       double compute_virtual =
           cfg.fixed_train_seconds >= 0.0
               ? cfg.fixed_train_seconds

@@ -1,7 +1,10 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "tensor/kernels.hpp"
 
 namespace swt {
 
@@ -9,9 +12,10 @@ const char* to_string(Padding p) noexcept {
   return p == Padding::kSame ? "same" : "valid";
 }
 
-std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel, Padding pad) {
-  if (pad == Padding::kSame) return in;
-  return in - kernel + 1;
+std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel, Padding pad,
+                             std::int64_t stride) {
+  if (pad == Padding::kSame) return (in + stride - 1) / stride;
+  return (in - kernel) / stride + 1;
 }
 
 namespace {
@@ -21,6 +25,14 @@ void init_conv_kernel(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng&
   const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
   w.rand_uniform(rng, -limit, limit);
 }
+
+/// Leading zero-padding for one axis.  "same" centres the taps so that at
+/// stride 1 this reduces to the familiar (k - 1) / 2.
+std::int64_t pad_lo_for(std::int64_t in, std::int64_t kernel, std::int64_t out,
+                        std::int64_t stride, Padding pad) {
+  if (pad != Padding::kSame) return 0;
+  return std::max<std::int64_t>(0, (out - 1) * stride + kernel - in) / 2;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -28,18 +40,20 @@ void init_conv_kernel(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng&
 // ---------------------------------------------------------------------------
 
 Conv2D::Conv2D(std::string name, std::int64_t kernel, std::int64_t in_channels,
-               std::int64_t out_channels, Padding pad, float weight_decay)
+               std::int64_t out_channels, Padding pad, float weight_decay,
+               std::int64_t stride)
     : name_(std::move(name)),
       k_(kernel),
       cin_(in_channels),
       cout_(out_channels),
+      stride_(stride),
       pad_(pad),
       weight_decay_(weight_decay),
       w_(Shape{k_, k_, cin_, cout_}),
       b_(Shape{cout_}),
       dw_(Shape{k_, k_, cin_, cout_}),
       db_(Shape{cout_}) {
-  if (k_ <= 0 || cin_ <= 0 || cout_ <= 0)
+  if (k_ <= 0 || cin_ <= 0 || cout_ <= 0 || stride_ <= 0)
     throw std::invalid_argument("Conv2D: non-positive size");
 }
 
@@ -54,35 +68,17 @@ Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
     throw std::invalid_argument("Conv2D " + name_ + ": bad input shape " + s.to_string());
   cached_x_ = x;
   const std::int64_t n = s[0], h = s[1], w = s[2];
-  const std::int64_t oh = conv_out_extent(h, k_, pad_);
-  const std::int64_t ow = conv_out_extent(w, k_, pad_);
+  const std::int64_t oh = conv_out_extent(h, k_, pad_, stride_);
+  const std::int64_t ow = conv_out_extent(w, k_, pad_, stride_);
   if (oh <= 0 || ow <= 0)
     throw std::invalid_argument("Conv2D " + name_ + ": kernel larger than input");
-  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
   Tensor y(Shape{n, oh, ow, cout_});
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t yo = 0; yo < oh; ++yo) {
-      for (std::int64_t xo = 0; xo < ow; ++xo) {
-        float* out = &y.at(ni, yo, xo, 0);
-        for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] = b_[static_cast<std::size_t>(oc)];
-        for (std::int64_t kh = 0; kh < k_; ++kh) {
-          const std::int64_t yi = yo + kh - pad_lo;
-          if (yi < 0 || yi >= h) continue;
-          for (std::int64_t kw = 0; kw < k_; ++kw) {
-            const std::int64_t xi = xo + kw - pad_lo;
-            if (xi < 0 || xi >= w) continue;
-            const float* in = &x.at(ni, yi, xi, 0);
-            const float* ker = &w_.at(kh, kw, 0, 0);
-            for (std::int64_t ic = 0; ic < cin_; ++ic) {
-              const float xv = in[ic];
-              const float* krow = ker + ic * cout_;
-              for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] += xv * krow[oc];
-            }
-          }
-        }
-      }
-    }
-  }
+  const kernels::ConvGeom g{n,  h,  w,       cin_,
+                            k_, k_, cout_,   oh,
+                            ow, stride_,
+                            pad_lo_for(h, k_, oh, stride_, pad_),
+                            pad_lo_for(w, k_, ow, stride_, pad_)};
+  kernels::conv_forward(x.data(), w_.data(), b_.data(), y.data(), g);
   return y;
 }
 
@@ -90,38 +86,14 @@ Tensor Conv2D::backward(const Tensor& dy) {
   const auto& s = cached_x_.shape();
   const std::int64_t n = s[0], h = s[1], w = s[2];
   const std::int64_t oh = dy.shape()[1], ow = dy.shape()[2];
-  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
   Tensor dx(s);
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t yo = 0; yo < oh; ++yo) {
-      for (std::int64_t xo = 0; xo < ow; ++xo) {
-        const float* dout = &dy.at(ni, yo, xo, 0);
-        for (std::int64_t oc = 0; oc < cout_; ++oc)
-          db_[static_cast<std::size_t>(oc)] += dout[oc];
-        for (std::int64_t kh = 0; kh < k_; ++kh) {
-          const std::int64_t yi = yo + kh - pad_lo;
-          if (yi < 0 || yi >= h) continue;
-          for (std::int64_t kw = 0; kw < k_; ++kw) {
-            const std::int64_t xi = xo + kw - pad_lo;
-            if (xi < 0 || xi >= w) continue;
-            const float* in = &cached_x_.at(ni, yi, xi, 0);
-            float* din = &dx.at(ni, yi, xi, 0);
-            for (std::int64_t ic = 0; ic < cin_; ++ic) {
-              const float xv = in[ic];
-              float* dker = &dw_.at(kh, kw, ic, 0);
-              const float* ker = &w_.at(kh, kw, ic, 0);
-              float acc = 0.0f;
-              for (std::int64_t oc = 0; oc < cout_; ++oc) {
-                dker[oc] += xv * dout[oc];
-                acc += ker[oc] * dout[oc];
-              }
-              din[ic] += acc;
-            }
-          }
-        }
-      }
-    }
-  }
+  const kernels::ConvGeom g{n,  h,  w,       cin_,
+                            k_, k_, cout_,   oh,
+                            ow, stride_,
+                            pad_lo_for(h, k_, oh, stride_, pad_),
+                            pad_lo_for(w, k_, ow, stride_, pad_)};
+  kernels::conv_backward(cached_x_.data(), w_.data(), dy.data(), dx.data(), dw_.data(),
+                         db_.data(), g);
   return dx;
 }
 
@@ -132,7 +104,8 @@ void Conv2D::collect_params(std::vector<ParamRef>& out) {
 
 std::string Conv2D::describe() const {
   return "Conv2D(" + std::to_string(cout_) + ", k=" + std::to_string(k_) + ", " +
-         to_string(pad_) + (weight_decay_ > 0 ? ", l2" : "") + ")";
+         to_string(pad_) + (stride_ > 1 ? ", s=" + std::to_string(stride_) : "") +
+         (weight_decay_ > 0 ? ", l2" : "") + ")";
 }
 
 // ---------------------------------------------------------------------------
@@ -140,18 +113,20 @@ std::string Conv2D::describe() const {
 // ---------------------------------------------------------------------------
 
 Conv1D::Conv1D(std::string name, std::int64_t kernel, std::int64_t in_channels,
-               std::int64_t out_channels, Padding pad, float weight_decay)
+               std::int64_t out_channels, Padding pad, float weight_decay,
+               std::int64_t stride)
     : name_(std::move(name)),
       k_(kernel),
       cin_(in_channels),
       cout_(out_channels),
+      stride_(stride),
       pad_(pad),
       weight_decay_(weight_decay),
       w_(Shape{k_, cin_, cout_}),
       b_(Shape{cout_}),
       dw_(Shape{k_, cin_, cout_}),
       db_(Shape{cout_}) {
-  if (k_ <= 0 || cin_ <= 0 || cout_ <= 0)
+  if (k_ <= 0 || cin_ <= 0 || cout_ <= 0 || stride_ <= 0)
     throw std::invalid_argument("Conv1D: non-positive size");
 }
 
@@ -166,27 +141,13 @@ Tensor Conv1D::forward(const Tensor& x, bool /*train*/) {
     throw std::invalid_argument("Conv1D " + name_ + ": bad input shape " + s.to_string());
   cached_x_ = x;
   const std::int64_t n = s[0], len = s[1];
-  const std::int64_t olen = conv_out_extent(len, k_, pad_);
+  const std::int64_t olen = conv_out_extent(len, k_, pad_, stride_);
   if (olen <= 0) throw std::invalid_argument("Conv1D " + name_ + ": kernel larger than input");
-  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
   Tensor y(Shape{n, olen, cout_});
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t lo = 0; lo < olen; ++lo) {
-      float* out = &y.at(ni, lo, 0);
-      for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] = b_[static_cast<std::size_t>(oc)];
-      for (std::int64_t kk = 0; kk < k_; ++kk) {
-        const std::int64_t li = lo + kk - pad_lo;
-        if (li < 0 || li >= len) continue;
-        const float* in = &x.at(ni, li, 0);
-        const float* ker = &w_.at(kk, 0, 0);
-        for (std::int64_t ic = 0; ic < cin_; ++ic) {
-          const float xv = in[ic];
-          const float* krow = ker + ic * cout_;
-          for (std::int64_t oc = 0; oc < cout_; ++oc) out[oc] += xv * krow[oc];
-        }
-      }
-    }
-  }
+  const kernels::ConvGeom g = kernels::conv1d_geom(
+      n, len, cin_, k_, cout_, olen, stride_,
+      pad_lo_for(len, k_, olen, stride_, pad_));
+  kernels::conv_forward(x.data(), w_.data(), b_.data(), y.data(), g);
   return y;
 }
 
@@ -194,32 +155,12 @@ Tensor Conv1D::backward(const Tensor& dy) {
   const auto& s = cached_x_.shape();
   const std::int64_t n = s[0], len = s[1];
   const std::int64_t olen = dy.shape()[1];
-  const std::int64_t pad_lo = pad_ == Padding::kSame ? (k_ - 1) / 2 : 0;
   Tensor dx(s);
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t lo = 0; lo < olen; ++lo) {
-      const float* dout = &dy.at(ni, lo, 0);
-      for (std::int64_t oc = 0; oc < cout_; ++oc)
-        db_[static_cast<std::size_t>(oc)] += dout[oc];
-      for (std::int64_t kk = 0; kk < k_; ++kk) {
-        const std::int64_t li = lo + kk - pad_lo;
-        if (li < 0 || li >= len) continue;
-        const float* in = &cached_x_.at(ni, li, 0);
-        float* din = &dx.at(ni, li, 0);
-        for (std::int64_t ic = 0; ic < cin_; ++ic) {
-          const float xv = in[ic];
-          float* dker = &dw_.at(kk, ic, 0);
-          const float* ker = &w_.at(kk, ic, 0);
-          float acc = 0.0f;
-          for (std::int64_t oc = 0; oc < cout_; ++oc) {
-            dker[oc] += xv * dout[oc];
-            acc += ker[oc] * dout[oc];
-          }
-          din[ic] += acc;
-        }
-      }
-    }
-  }
+  const kernels::ConvGeom g = kernels::conv1d_geom(
+      n, len, cin_, k_, cout_, olen, stride_,
+      pad_lo_for(len, k_, olen, stride_, pad_));
+  kernels::conv_backward(cached_x_.data(), w_.data(), dy.data(), dx.data(), dw_.data(),
+                         db_.data(), g);
   return dx;
 }
 
@@ -230,7 +171,7 @@ void Conv1D::collect_params(std::vector<ParamRef>& out) {
 
 std::string Conv1D::describe() const {
   return "Conv1D(" + std::to_string(cout_) + ", k=" + std::to_string(k_) + ", " +
-         to_string(pad_) + ")";
+         to_string(pad_) + (stride_ > 1 ? ", s=" + std::to_string(stride_) : "") + ")";
 }
 
 }  // namespace swt

@@ -1,11 +1,13 @@
-// Convolution layers (stride 1, "same" or "valid" padding, channels-last).
+// Convolution layers ("same" or "valid" padding, channels-last), lowered to
+// the blocked im2col + GEMM kernels in tensor/kernels.hpp.
 //
 // Conv2D: input (N, H, W, Cin), kernel (KH, KW, Cin, Cout).
 // Conv1D: input (N, L, Cin),    kernel (K, Cin, Cout).
 //
 // The search spaces in the paper vary filter count, padding and L2
 // regularisation of convolutions (Section VII-A); stride is fixed at 1 there
-// as well, with all spatial reduction done by pooling variable nodes.
+// (spatial reduction is done by pooling variable nodes), but the layers
+// accept stride > 1 for strided downsampling outside the paper's spaces.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -16,14 +18,16 @@ enum class Padding { kValid, kSame };
 
 [[nodiscard]] const char* to_string(Padding p) noexcept;
 
-/// Output spatial extent of a stride-1 convolution.
+/// Output spatial extent of a convolution.  "same" = ceil(in / stride),
+/// "valid" = floor((in - kernel) / stride) + 1.
 [[nodiscard]] std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
-                                           Padding pad);
+                                           Padding pad, std::int64_t stride = 1);
 
 class Conv2D final : public Layer {
  public:
   Conv2D(std::string name, std::int64_t kernel, std::int64_t in_channels,
-         std::int64_t out_channels, Padding pad, float weight_decay = 0.0f);
+         std::int64_t out_channels, Padding pad, float weight_decay = 0.0f,
+         std::int64_t stride = 1);
 
   void init(Rng& rng) override;
   [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
@@ -33,7 +37,7 @@ class Conv2D final : public Layer {
 
  private:
   std::string name_;
-  std::int64_t k_, cin_, cout_;
+  std::int64_t k_, cin_, cout_, stride_;
   Padding pad_;
   float weight_decay_;
   Tensor w_, b_, dw_, db_;
@@ -43,7 +47,8 @@ class Conv2D final : public Layer {
 class Conv1D final : public Layer {
  public:
   Conv1D(std::string name, std::int64_t kernel, std::int64_t in_channels,
-         std::int64_t out_channels, Padding pad, float weight_decay = 0.0f);
+         std::int64_t out_channels, Padding pad, float weight_decay = 0.0f,
+         std::int64_t stride = 1);
 
   void init(Rng& rng) override;
   [[nodiscard]] Tensor forward(const Tensor& x, bool train) override;
@@ -53,7 +58,7 @@ class Conv1D final : public Layer {
 
  private:
   std::string name_;
-  std::int64_t k_, cin_, cout_;
+  std::int64_t k_, cin_, cout_, stride_;
   Padding pad_;
   float weight_decay_;
   Tensor w_, b_, dw_, db_;

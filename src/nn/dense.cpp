@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+
 namespace swt {
 
 Dense::Dense(std::string name, std::int64_t in_features, std::int64_t out_features,
@@ -30,8 +32,10 @@ Tensor Dense::forward(const Tensor& x, bool /*train*/) {
     throw std::invalid_argument("Dense " + name_ + ": bad input shape " +
                                 x.shape().to_string());
   cached_x_ = x;
-  Tensor y = matmul(x, w_);
-  const std::int64_t n = y.shape()[0];
+  const std::int64_t n = x.shape()[0];
+  Tensor y(Shape{n, out_});
+  kernels::gemm_nn(x.data(), w_.data(), y.data(), n, out_, in_);
+  // Bias after the product, matching matmul(x, w_) + broadcast-add exactly.
   for (std::int64_t i = 0; i < n; ++i) {
     float* row = y.data() + i * out_;
     for (std::int64_t j = 0; j < out_; ++j) row[j] += b_[static_cast<std::size_t>(j)];
@@ -40,13 +44,17 @@ Tensor Dense::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor Dense::backward(const Tensor& dy) {
-  dw_.add(matmul_tn(cached_x_, dy));
   const std::int64_t n = dy.shape()[0];
+  // dw += x^T * dy, accumulated straight into the grad buffer (no temp).
+  kernels::gemm_tn(cached_x_.data(), dy.data(), dw_.data(), in_, out_, n,
+                   /*accumulate=*/true);
   for (std::int64_t i = 0; i < n; ++i) {
     const float* row = dy.data() + i * out_;
     for (std::int64_t j = 0; j < out_; ++j) db_[static_cast<std::size_t>(j)] += row[j];
   }
-  return matmul_nt(dy, w_);
+  Tensor dx(Shape{n, in_});
+  kernels::gemm_nt(dy.data(), w_.data(), dx.data(), n, in_, out_);
+  return dx;
 }
 
 void Dense::collect_params(std::vector<ParamRef>& out) {

@@ -1,0 +1,657 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+
+namespace swt::kernels {
+namespace {
+
+using std::int64_t;
+
+// ---------------------------------------------------------------------------
+// Threading knob + parallel row driver
+// ---------------------------------------------------------------------------
+
+int hardware_threads() noexcept {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+int threads_from_env() noexcept {
+  const char* v = std::getenv("SWT_THREADS");
+  if (v != nullptr && *v != '\0') {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<int>(std::min<long>(n, 1024));
+  }
+  return hardware_threads();
+}
+
+std::atomic<int> g_compute_threads{0};  // 0 = resolve from env on first use
+
+/// Set inside pool-executed chunks: a kernel invoked from a compute chunk
+/// must not re-enter the pool — its caller is already occupying a worker
+/// and blocking on the join.
+thread_local bool tl_in_compute_chunk = false;
+
+/// Run body(lo, hi) over a partition of [0, rows).  Each row's value is
+/// independent of the partition, so every thread count is bit-identical.
+/// Falls back to one serial call when threading cannot pay for itself.
+void parallel_rows(int64_t rows, double flops,
+                   const std::function<void(int64_t, int64_t)>& body) {
+  if (rows <= 0) return;
+  const int threads = compute_threads();
+  if (threads <= 1 || rows == 1 || tl_in_compute_chunk ||
+      flops < static_cast<double>(kParallelFlopThreshold)) {
+    body(0, rows);
+    return;
+  }
+  const int64_t chunk = (rows + threads - 1) / threads;
+  const int64_t parts = (rows + chunk - 1) / chunk;
+  // Private join latch: ThreadPool::wait_idle() would also wait for
+  // unrelated submissions; this dispatch joins only its own chunks.
+  struct Join {
+    std::mutex m;
+    std::condition_variable cv;
+    int64_t remaining;
+  } join{{}, {}, parts - 1};
+  ThreadPool& pool = ThreadPool::global();
+  for (int64_t p = 1; p < parts; ++p) {
+    const int64_t lo = p * chunk;
+    const int64_t hi = std::min(rows, lo + chunk);
+    pool.submit([&join, &body, lo, hi] {
+      tl_in_compute_chunk = true;
+      body(lo, hi);
+      tl_in_compute_chunk = false;
+      const std::scoped_lock lock(join.m);
+      if (--join.remaining == 0) join.cv.notify_one();
+    });
+  }
+  body(0, std::min(rows, chunk));
+  std::unique_lock lock(join.m);
+  join.cv.wait(lock, [&join] { return join.remaining == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+void record_matmul(double seconds, int64_t flops) noexcept {
+  static Gauge& seconds_g = metrics().gauge("tensor.matmul_seconds");
+  static Counter& calls_c = metrics().counter("tensor.matmul_total");
+  static Counter& flops_c = metrics().counter("tensor.matmul_flops_total");
+  seconds_g.add(seconds);
+  calls_c.add();
+  flops_c.add(flops);
+}
+
+void record_conv(double seconds, int64_t flops) noexcept {
+  static Gauge& seconds_g = metrics().gauge("tensor.conv_seconds");
+  static Counter& calls_c = metrics().counter("tensor.conv_total");
+  static Counter& flops_c = metrics().counter("tensor.conv_flops_total");
+  seconds_g.add(seconds);
+  calls_c.add();
+  flops_c.add(flops);
+}
+
+/// Times `fn` into the given recorder only when metrics are on (two clock
+/// reads per kernel call, skipped entirely otherwise).
+template <typename Fn, typename Rec>
+inline void timed(int64_t flops, Rec rec, Fn&& fn) {
+  if (metrics_enabled()) {
+    const WallTimer timer;
+    fn();
+    rec(timer.seconds(), flops);
+  } else {
+    fn();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM (nn / tn)
+// ---------------------------------------------------------------------------
+// Register micro-tiles over a KC x NC cache panel of B.  The micro-kernel
+// holds an MR x NR tile of C in registers, loaded from and stored back to
+// memory once per k-panel, so each element's chain stays
+// `C ... + t_k + t_{k+1} ...` in ascending k — bit-identical to the naive
+// ikj loop while cutting B and C memory traffic by the tile factors.
+//
+// The accumulator tile is held in explicit vector-extension lanes rather
+// than a float[][] array: GCC's scalar-replacement gives up on a 64-float
+// aggregate and spills it to the stack every k step, which is slower than
+// the naive loop.  Named vector locals are register-allocated like any
+// other scalar.  Lane arithmetic is element-wise float mul/add, so the
+// per-element chain is untouched (the TU is compiled -ffp-contract=off,
+// see src/tensor/CMakeLists.txt, making that true for the naive references
+// too — equality holds by construction, not by codegen accident).
+
+constexpr int64_t MR = 4;    // micro-tile rows (broadcast reuse of a B row)
+constexpr int64_t NR = 16;   // micro-tile columns (one 16-lane vector)
+constexpr int64_t KC = 128;  // k panel
+constexpr int64_t NC = 128;  // column panel: KC*NC*4 B = 64 KiB of B stays hot
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SWT_VEC_EXT 1
+typedef float vf16 __attribute__((vector_size(64)));
+
+inline vf16 load16(const float* p) {
+  vf16 v;
+  __builtin_memcpy(&v, p, sizeof v);  // unaligned vector load
+  return v;
+}
+inline void store16(float* p, const vf16& v) { __builtin_memcpy(p, &v, sizeof v); }
+#endif
+
+/// MRC x NR tile of C, k in [k0, k1).  ATrans reads A stored (k, m) —
+/// either way `av` is a scalar broadcast against one 16-lane row of B.
+template <int MRC, bool ATrans>
+inline void micro_n(const float* __restrict__ a, int64_t lda,
+                    const float* __restrict__ b, int64_t ldb,
+                    float* __restrict__ c, int64_t ldc, int64_t i0, int64_t j0,
+                    int64_t k0, int64_t k1) {
+#ifdef SWT_VEC_EXT
+  vf16 acc[MRC];
+  for (int r = 0; r < MRC; ++r) acc[r] = load16(c + (i0 + r) * ldc + j0);
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    const vf16 bv = load16(b + kk * ldb + j0);
+    for (int r = 0; r < MRC; ++r) {
+      const float av = ATrans ? a[kk * lda + i0 + r] : a[(i0 + r) * lda + kk];
+      acc[r] += av * bv;
+    }
+  }
+  for (int r = 0; r < MRC; ++r) store16(c + (i0 + r) * ldc + j0, acc[r]);
+#else
+  float acc[MRC][NR];
+  for (int r = 0; r < MRC; ++r)
+    for (int64_t j = 0; j < NR; ++j) acc[r][j] = c[(i0 + r) * ldc + j0 + j];
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    const float* brow = b + kk * ldb + j0;
+    for (int r = 0; r < MRC; ++r) {
+      const float av = ATrans ? a[kk * lda + i0 + r] : a[(i0 + r) * lda + kk];
+      for (int64_t j = 0; j < NR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < MRC; ++r)
+    for (int64_t j = 0; j < NR; ++j) c[(i0 + r) * ldc + j0 + j] = acc[r][j];
+#endif
+}
+
+#ifdef SWT_VEC_EXT
+/// Double-width variant: MRC x 32 tile (two vectors per row).  Halves the
+/// broadcast + loop overhead per FLOP; the hot path for large n.  Same
+/// ascending-k chain per element as micro_n.
+template <int MRC, bool ATrans>
+inline void micro_n2(const float* __restrict__ a, int64_t lda,
+                     const float* __restrict__ b, int64_t ldb,
+                     float* __restrict__ c, int64_t ldc, int64_t i0, int64_t j0,
+                     int64_t k0, int64_t k1) {
+  vf16 acc0[MRC], acc1[MRC];
+  for (int r = 0; r < MRC; ++r) {
+    acc0[r] = load16(c + (i0 + r) * ldc + j0);
+    acc1[r] = load16(c + (i0 + r) * ldc + j0 + NR);
+  }
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    const vf16 bv0 = load16(b + kk * ldb + j0);
+    const vf16 bv1 = load16(b + kk * ldb + j0 + NR);
+    for (int r = 0; r < MRC; ++r) {
+      const float av = ATrans ? a[kk * lda + i0 + r] : a[(i0 + r) * lda + kk];
+      acc0[r] += av * bv0;
+      acc1[r] += av * bv1;
+    }
+  }
+  for (int r = 0; r < MRC; ++r) {
+    store16(c + (i0 + r) * ldc + j0, acc0[r]);
+    store16(c + (i0 + r) * ldc + j0 + NR, acc1[r]);
+  }
+}
+#endif
+
+/// Scalar edge path for row/column tails; same per-element term order.
+template <bool ATrans>
+inline void edge_n(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+                   int64_t ldc, int64_t i0, int64_t i1, int64_t j0, int64_t j1,
+                   int64_t k0, int64_t k1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t kk = k0; kk < k1; ++kk) {
+      const float av = ATrans ? a[kk * lda + i] : a[i * lda + kk];
+      const float* brow = b + kk * ldb;
+      for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Rows [i_lo, i_hi) of C (+)= op(A) * B for the nn / tn variants.
+/// lda is A's row stride: k for nn (A is m x k), m for tn (A is k x m).
+template <bool ATrans>
+void gemm_n_rows(const float* a, int64_t lda, const float* b, float* c, int64_t i_lo,
+                 int64_t i_hi, int64_t n, int64_t k, bool accumulate) {
+  if (!accumulate) std::fill(c + i_lo * n, c + i_hi * n, 0.0f);
+  for (int64_t jc = 0; jc < n; jc += NC) {
+    const int64_t j_max = std::min(n, jc + NC);
+    for (int64_t kc = 0; kc < k; kc += KC) {
+      const int64_t k_max = std::min(k, kc + KC);
+      for (int64_t i = i_lo; i < i_hi; i += MR) {
+        const int64_t rows_left = std::min(MR, i_hi - i);
+        int64_t j = jc;
+#ifdef SWT_VEC_EXT
+        for (; j + 2 * NR <= j_max; j += 2 * NR) {
+          switch (rows_left) {
+            case 4: micro_n2<4, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+            case 3: micro_n2<3, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+            case 2: micro_n2<2, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+            default: micro_n2<1, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+          }
+        }
+#endif
+        for (; j + NR <= j_max; j += NR) {
+          switch (rows_left) {
+            case 4: micro_n<4, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+            case 3: micro_n<3, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+            case 2: micro_n<2, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+            default: micro_n<1, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
+          }
+        }
+        if (j < j_max)
+          edge_n<ATrans>(a, lda, b, n, c, n, i, i + rows_left, j, j_max, kc, k_max);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM (nt): C[i][j] = dot(A row i, B row j)
+// ---------------------------------------------------------------------------
+// The naive dot product is one serial FMA chain per element —
+// latency-bound.  An MR x NRT register tile gives MR*NRT independent
+// chains (throughput-bound) and reuses each A/B load across a tile edge,
+// while each chain still sums in ascending k.
+
+constexpr int64_t NRT = 8;  // nt micro-tile columns (one 8-lane vector)
+
+#ifdef SWT_VEC_EXT
+typedef float vf8 __attribute__((vector_size(32)));
+#endif
+
+template <int MRC>
+inline void micro_t(const float* __restrict__ a, int64_t lda,
+                    const float* __restrict__ b, int64_t ldb,
+                    float* __restrict__ c, int64_t ldc, int64_t i0, int64_t j0,
+                    int64_t k0, int64_t k1) {
+#ifdef SWT_VEC_EXT
+  vf8 acc[MRC];
+  for (int r = 0; r < MRC; ++r)
+    __builtin_memcpy(&acc[r], c + (i0 + r) * ldc + j0, sizeof(vf8));
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    vf8 bv;  // strided gather: one column of B^T
+    for (int64_t j = 0; j < NRT; ++j) bv[j] = b[(j0 + j) * ldb + kk];
+    for (int r = 0; r < MRC; ++r) acc[r] += a[(i0 + r) * lda + kk] * bv;
+  }
+  for (int r = 0; r < MRC; ++r)
+    __builtin_memcpy(c + (i0 + r) * ldc + j0, &acc[r], sizeof(vf8));
+#else
+  float acc[MRC][NRT];
+  for (int r = 0; r < MRC; ++r)
+    for (int64_t j = 0; j < NRT; ++j) acc[r][j] = c[(i0 + r) * ldc + j0 + j];
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    float bv[NRT];
+    for (int64_t j = 0; j < NRT; ++j) bv[j] = b[(j0 + j) * ldb + kk];
+    for (int r = 0; r < MRC; ++r) {
+      const float av = a[(i0 + r) * lda + kk];
+      for (int64_t j = 0; j < NRT; ++j) acc[r][j] += av * bv[j];
+    }
+  }
+  for (int r = 0; r < MRC; ++r)
+    for (int64_t j = 0; j < NRT; ++j) c[(i0 + r) * ldc + j0 + j] = acc[r][j];
+#endif
+}
+
+void edge_t(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+            int64_t ldc, int64_t i0, int64_t i1, int64_t j0, int64_t j1, int64_t k0,
+            int64_t k1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * lda;
+    for (int64_t j = j0; j < j1; ++j) {
+      const float* brow = b + j * ldb;
+      float acc = c[i * ldc + j];
+      for (int64_t kk = k0; kk < k1; ++kk) acc += arow[kk] * brow[kk];
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void gemm_t_rows(const float* a, const float* b, float* c, int64_t i_lo, int64_t i_hi,
+                 int64_t n, int64_t k, bool accumulate) {
+  if (!accumulate) std::fill(c + i_lo * n, c + i_hi * n, 0.0f);
+  for (int64_t kc = 0; kc < k; kc += KC) {
+    const int64_t k_max = std::min(k, kc + KC);
+    for (int64_t i = i_lo; i < i_hi; i += MR) {
+      const int64_t rows_left = std::min(MR, i_hi - i);
+      int64_t j = 0;
+      for (; j + NRT <= n; j += NRT) {
+        switch (rows_left) {
+          case 4: micro_t<4>(a, k, b, k, c, n, i, j, kc, k_max); break;
+          case 3: micro_t<3>(a, k, b, k, c, n, i, j, kc, k_max); break;
+          case 2: micro_t<2>(a, k, b, k, c, n, i, j, kc, k_max); break;
+          default: micro_t<1>(a, k, b, k, c, n, i, j, kc, k_max); break;
+        }
+      }
+      if (j < n) edge_t(a, k, b, k, c, n, i, i + rows_left, j, n, kc, k_max);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Convolution helpers
+// ---------------------------------------------------------------------------
+
+/// Thread-local scratch: convs reuse these across calls instead of
+/// allocating a patch matrix per forward/backward.
+std::vector<float>& scratch(std::size_t slot, std::size_t size) {
+  thread_local std::vector<float> buffers[2];
+  std::vector<float>& buf = buffers[slot];
+  if (buf.size() < size) buf.resize(size);
+  return buf;
+}
+
+/// im2col for patch rows [p_lo, p_hi).
+void im2col_rows(const float* x, float* col, const ConvGeom& g, int64_t p_lo,
+                 int64_t p_hi) {
+  const int64_t r_cols = g.patch_cols();
+  for (int64_t p = p_lo; p < p_hi; ++p) {
+    const int64_t xo = p % g.ow;
+    const int64_t yo = (p / g.ow) % g.oh;
+    const int64_t ni = p / (g.ow * g.oh);
+    float* row = col + p * r_cols;
+    for (int64_t kh = 0; kh < g.kh; ++kh) {
+      const int64_t yi = yo * g.stride + kh - g.pad_h;
+      for (int64_t kw = 0; kw < g.kw; ++kw) {
+        const int64_t xi = xo * g.stride + kw - g.pad_w;
+        float* dst = row + (kh * g.kw + kw) * g.cin;
+        if (yi < 0 || yi >= g.h || xi < 0 || xi >= g.w) {
+          std::fill(dst, dst + g.cin, 0.0f);
+        } else {
+          const float* src = x + ((ni * g.h + yi) * g.w + xi) * g.cin;
+          std::copy(src, src + g.cin, dst);
+        }
+      }
+    }
+  }
+}
+
+/// Scatter-add dcol back into dx for images [n_lo, n_hi).  Partitioned by
+/// image: patches of different images never overlap in dx, and within an
+/// image the (yo, xo, kh, kw, ic) order matches the naive backward loop.
+void col2im_add_images(const float* dcol, float* dx, const ConvGeom& g, int64_t n_lo,
+                       int64_t n_hi) {
+  const int64_t r_cols = g.patch_cols();
+  for (int64_t ni = n_lo; ni < n_hi; ++ni) {
+    for (int64_t yo = 0; yo < g.oh; ++yo) {
+      for (int64_t xo = 0; xo < g.ow; ++xo) {
+        const float* row = dcol + ((ni * g.oh + yo) * g.ow + xo) * r_cols;
+        for (int64_t kh = 0; kh < g.kh; ++kh) {
+          const int64_t yi = yo * g.stride + kh - g.pad_h;
+          if (yi < 0 || yi >= g.h) continue;
+          for (int64_t kw = 0; kw < g.kw; ++kw) {
+            const int64_t xi = xo * g.stride + kw - g.pad_w;
+            if (xi < 0 || xi >= g.w) continue;
+            const float* src = row + (kh * g.kw + kw) * g.cin;
+            float* dst = dx + ((ni * g.h + yi) * g.w + xi) * g.cin;
+            for (int64_t ic = 0; ic < g.cin; ++ic) dst[ic] += src[ic];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+void set_compute_threads(int n) noexcept {
+  g_compute_threads.store(n > 0 ? std::min(n, 1024) : hardware_threads(),
+                          std::memory_order_relaxed);
+}
+
+int compute_threads() noexcept {
+  int v = g_compute_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = threads_from_env();
+    g_compute_threads.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+             bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  const int64_t flops = 2 * m * n * k;
+  timed(flops, record_matmul, [&] {
+    parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
+      gemm_n_rows<false>(a, k, b, c, lo, hi, n, k, accumulate);
+    });
+  });
+}
+
+void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+             bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  const int64_t flops = 2 * m * n * k;
+  timed(flops, record_matmul, [&] {
+    parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
+      gemm_n_rows<true>(a, m, b, c, lo, hi, n, k, accumulate);
+    });
+  });
+}
+
+void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+             bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  const int64_t flops = 2 * m * n * k;
+  timed(flops, record_matmul, [&] {
+    parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
+      gemm_t_rows(a, b, c, lo, hi, n, k, accumulate);
+    });
+  });
+}
+
+ConvGeom conv1d_geom(int64_t n, int64_t len, int64_t cin, int64_t k, int64_t cout,
+                     int64_t olen, int64_t stride, int64_t pad) noexcept {
+  ConvGeom g;
+  g.n = n;
+  g.h = 1;
+  g.w = len;
+  g.cin = cin;
+  g.kh = 1;
+  g.kw = k;
+  g.cout = cout;
+  g.oh = 1;
+  g.ow = olen;
+  g.stride = stride;
+  g.pad_h = 0;
+  g.pad_w = pad;
+  return g;
+}
+
+void im2col(const float* x, float* col, const ConvGeom& g) {
+  const int64_t rows = g.patch_rows();
+  // Copy work, not FLOPs; priced as one "op" per moved float for the
+  // serial-threshold heuristic.
+  parallel_rows(rows, static_cast<double>(rows * g.patch_cols()),
+                [&](int64_t lo, int64_t hi) { im2col_rows(x, col, g, lo, hi); });
+}
+
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvGeom& g) {
+  const int64_t rows = g.patch_rows();
+  if (rows <= 0 || g.cout <= 0) return;
+  timed(g.flops(), record_conv, [&] {
+    std::vector<float>& col = scratch(0, static_cast<std::size_t>(rows * g.patch_cols()));
+    im2col(x, col.data(), g);
+    // Bias heads each output element's accumulation chain, exactly like the
+    // naive direct loop's `out[oc] = b[oc]` initialisation.
+    for (int64_t p = 0; p < rows; ++p) {
+      float* yrow = y + p * g.cout;
+      if (bias != nullptr)
+        std::copy(bias, bias + g.cout, yrow);
+      else
+        std::fill(yrow, yrow + g.cout, 0.0f);
+    }
+    gemm_nn(col.data(), w, y, rows, g.cout, g.patch_cols(), /*accumulate=*/true);
+  });
+}
+
+void conv_backward(const float* x, const float* w, const float* dy, float* dx,
+                   float* dw, float* db, const ConvGeom& g) {
+  const int64_t rows = g.patch_rows();
+  if (rows <= 0 || g.cout <= 0) return;
+  timed(3 * g.flops(), record_conv, [&] {
+    const int64_t r_cols = g.patch_cols();
+    std::vector<float>& col = scratch(0, static_cast<std::size_t>(rows * r_cols));
+    im2col(x, col.data(), g);
+    // db: patch-ascending, matching the naive (ni, yo, xo) loop order.
+    if (db != nullptr) {
+      for (int64_t p = 0; p < rows; ++p) {
+        const float* dyrow = dy + p * g.cout;
+        for (int64_t oc = 0; oc < g.cout; ++oc) db[oc] += dyrow[oc];
+      }
+    }
+    // dw += col^T * dy — each kernel entry sums over patches ascending.
+    gemm_tn(col.data(), dy, dw, r_cols, g.cout, rows, /*accumulate=*/true);
+    // dcol = dy * w^T, then scattered back into dx per image.
+    std::vector<float>& dcol = scratch(1, static_cast<std::size_t>(rows * r_cols));
+    gemm_nt(dy, w, dcol.data(), rows, r_cols, g.cout, /*accumulate=*/false);
+    parallel_rows(g.n, static_cast<double>(rows * r_cols),
+                  [&](int64_t lo, int64_t hi) {
+                    col2im_add_images(dcol.data(), dx, g, lo, hi);
+                  });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels
+// ---------------------------------------------------------------------------
+
+namespace naive {
+
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+             bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  // ikj loop order: streams through B and C rows, cache-friendly row-major.
+  // No `a == 0` skip: FLOPs stay shape-determined and 0 * NaN propagates.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+             bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+             bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = c[i * n + j];
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvGeom& g) {
+  for (int64_t ni = 0; ni < g.n; ++ni) {
+    for (int64_t yo = 0; yo < g.oh; ++yo) {
+      for (int64_t xo = 0; xo < g.ow; ++xo) {
+        float* out = y + ((ni * g.oh + yo) * g.ow + xo) * g.cout;
+        for (int64_t oc = 0; oc < g.cout; ++oc) out[oc] = bias != nullptr ? bias[oc] : 0.0f;
+        for (int64_t kh = 0; kh < g.kh; ++kh) {
+          const int64_t yi = yo * g.stride + kh - g.pad_h;
+          if (yi < 0 || yi >= g.h) continue;
+          for (int64_t kw = 0; kw < g.kw; ++kw) {
+            const int64_t xi = xo * g.stride + kw - g.pad_w;
+            if (xi < 0 || xi >= g.w) continue;
+            const float* in = x + ((ni * g.h + yi) * g.w + xi) * g.cin;
+            const float* ker = w + (kh * g.kw + kw) * g.cin * g.cout;
+            for (int64_t ic = 0; ic < g.cin; ++ic) {
+              const float xv = in[ic];
+              const float* krow = ker + ic * g.cout;
+              for (int64_t oc = 0; oc < g.cout; ++oc) out[oc] += xv * krow[oc];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv_backward(const float* x, const float* w, const float* dy, float* dx,
+                   float* dw, float* db, const ConvGeom& g) {
+  for (int64_t ni = 0; ni < g.n; ++ni) {
+    for (int64_t yo = 0; yo < g.oh; ++yo) {
+      for (int64_t xo = 0; xo < g.ow; ++xo) {
+        const float* dout = dy + ((ni * g.oh + yo) * g.ow + xo) * g.cout;
+        if (db != nullptr)
+          for (int64_t oc = 0; oc < g.cout; ++oc) db[oc] += dout[oc];
+        for (int64_t kh = 0; kh < g.kh; ++kh) {
+          const int64_t yi = yo * g.stride + kh - g.pad_h;
+          if (yi < 0 || yi >= g.h) continue;
+          for (int64_t kw = 0; kw < g.kw; ++kw) {
+            const int64_t xi = xo * g.stride + kw - g.pad_w;
+            if (xi < 0 || xi >= g.w) continue;
+            const float* in = x + ((ni * g.h + yi) * g.w + xi) * g.cin;
+            float* din = dx + ((ni * g.h + yi) * g.w + xi) * g.cin;
+            for (int64_t ic = 0; ic < g.cin; ++ic) {
+              const float xv = in[ic];
+              float* dker = dw + ((kh * g.kw + kw) * g.cin + ic) * g.cout;
+              const float* ker = w + ((kh * g.kw + kw) * g.cin + ic) * g.cout;
+              float acc = 0.0f;
+              for (int64_t oc = 0; oc < g.cout; ++oc) {
+                dker[oc] += xv * dout[oc];
+                acc += ker[oc] * dout[oc];
+              }
+              din[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace naive
+
+}  // namespace swt::kernels

@@ -1,0 +1,138 @@
+// Threaded, cache-blocked compute kernels: GEMM (nn/tn/nt) and im2col
+// convolution, the hot path under every candidate evaluation.
+//
+// Design contract (see DESIGN.md "Compute kernels"):
+//
+// * **Fixed reduction order.**  Every output element is produced by a single
+//   floating-point accumulation chain over the reduction index in ascending
+//   order, regardless of blocking factors or thread count.  Blocking only
+//   reorders *which element* is computed when, never the term order *within*
+//   an element, and the parallel driver partitions output rows (whole
+//   reduction chains) across threads.  Consequently the blocked kernels are
+//   bit-identical to the `naive::` references and to themselves at any
+//   `SWT_THREADS` — the property the registry/compare_runs CI gate and the
+//   trace bit-reproducibility test depend on.
+// * **No data-dependent fast paths.**  The old `if (a == 0.0f) continue;`
+//   shortcut made FLOP counts and timings depend on the weight values and
+//   silently swallowed signalling NaNs (0 * NaN must propagate).  Neither
+//   the blocked kernels nor the retained references skip zero terms.
+// * **Serial below a flops threshold.**  Dispatching to the shared pool
+//   costs microseconds; kernels smaller than `kParallelFlopThreshold` run on
+//   the calling thread so tiny tensors (bias-sized GEMMs, 1x1 convs) don't
+//   pay it.
+//
+// The kernels feed `tensor.matmul_seconds` / `tensor.conv_seconds` gauges
+// (plus call/FLOP counters) into the process MetricsRegistry when metrics
+// are enabled.
+#pragma once
+
+#include <cstdint>
+
+namespace swt::kernels {
+
+// ---------------------------------------------------------------------------
+// Threading knob
+// ---------------------------------------------------------------------------
+
+/// Number of row partitions the parallel driver splits a large kernel into.
+/// Defaults to the `SWT_THREADS` environment variable when set (and > 0),
+/// otherwise to std::thread::hardware_concurrency().  `n <= 0` resets to the
+/// hardware default.  Chunks execute on the shared `ThreadPool::global()`;
+/// results are bit-identical for every value.
+void set_compute_threads(int n) noexcept;
+[[nodiscard]] int compute_threads() noexcept;
+
+/// Kernels whose useful-FLOP count is below this run serially: at a few
+/// GFLOP/s the work itself is ~100 us, an order of magnitude above the
+/// pool's dispatch+join cost, so threading only starts where it can win.
+inline constexpr std::int64_t kParallelFlopThreshold = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// GEMM — row-major float32, C is (m x n)
+// ---------------------------------------------------------------------------
+// `accumulate == false` overwrites C, `true` adds into it (the existing C
+// value heads each element's accumulation chain, so a bias-filled C gives
+// `bias + sum_k ...` in naive order).
+
+/// C (+)= A(m,k) * B(k,n).
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate = false);
+/// C (+)= A^T * B where A is stored (k,m) and B is (k,n).
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate = false);
+/// C (+)= A * B^T where A is (m,k) and B is stored (n,k).
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate = false);
+
+// ---------------------------------------------------------------------------
+// Convolution — channels-last, zero padding, via im2col + GEMM
+// ---------------------------------------------------------------------------
+
+/// Geometry of one convolution call.  2-D: input (n, h, w, cin), kernel
+/// (kh, kw, cin, cout), output (n, oh, ow, cout).  1-D maps onto the same
+/// kernel with h = kh = oh = 1 and the length on the w axis (use
+/// `conv1d_geom`).  `stride` applies to both spatial axes; `pad_h`/`pad_w`
+/// are the leading zero-padding per axis (input coordinate =
+/// out * stride + tap - pad).
+struct ConvGeom {
+  std::int64_t n = 0, h = 1, w = 0, cin = 0;
+  std::int64_t kh = 1, kw = 0, cout = 0;
+  std::int64_t oh = 1, ow = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad_h = 0, pad_w = 0;
+
+  /// Rows / columns of the im2col patch matrix.
+  [[nodiscard]] std::int64_t patch_rows() const noexcept { return n * oh * ow; }
+  [[nodiscard]] std::int64_t patch_cols() const noexcept { return kh * kw * cin; }
+  /// Useful FLOPs of the forward GEMM (2 * patches * taps * cout).
+  [[nodiscard]] std::int64_t flops() const noexcept {
+    return 2 * patch_rows() * patch_cols() * cout;
+  }
+};
+
+/// Geometry for a 1-D convolution: input (n, len, cin), kernel (k, cin,
+/// cout), output (n, olen, cout).
+[[nodiscard]] ConvGeom conv1d_geom(std::int64_t n, std::int64_t len, std::int64_t cin,
+                                   std::int64_t k, std::int64_t cout, std::int64_t olen,
+                                   std::int64_t stride, std::int64_t pad) noexcept;
+
+/// y = conv(x, w) + bias.  `bias` (length cout) may be null for no bias.
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvGeom& g);
+
+/// Gradients of the same convolution: `dw` (kernel-shaped) and `db` (length
+/// cout) are *accumulated into*; `dx` (input-shaped) must be zero-filled by
+/// the caller and is accumulated into as well (matching Layer::backward
+/// semantics, where grads add up until zero_grads()).  `db` may be null.
+void conv_backward(const float* x, const float* w, const float* dy, float* dx,
+                   float* dw, float* db, const ConvGeom& g);
+
+/// Materialize the im2col patch matrix: row p = ((ni*oh + yo)*ow + xo),
+/// column r = ((kh*kw + kw')*cin + ic); out-of-bounds taps are zero.
+/// `col` must hold patch_rows() * patch_cols() floats.  Exposed for tests
+/// and bench_gemm.
+void im2col(const float* x, float* col, const ConvGeom& g);
+
+// ---------------------------------------------------------------------------
+// Reference kernels — the seed repo's loops, retained verbatim (minus the
+// data-dependent zero-skip) as the differential-test oracle.  Serial.
+// ---------------------------------------------------------------------------
+namespace naive {
+
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate = false);
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate = false);
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate = false);
+
+/// Direct (non-im2col) convolution loops, same accumulation order as the
+/// blocked path, so results match bit-for-bit.
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvGeom& g);
+void conv_backward(const float* x, const float* w, const float* dy, float* dx,
+                   float* dw, float* db, const ConvGeom& g);
+
+}  // namespace naive
+
+}  // namespace swt::kernels

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+
 namespace swt {
 
 Tensor::Tensor(Shape shape)
@@ -75,19 +77,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
   if (b.shape()[0] != k) throw std::invalid_argument("matmul: inner dimension mismatch");
   Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order: streams through B and C rows, cache-friendly row-major.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  kernels::gemm_nn(a.data(), b.data(), c.data(), m, n, k);
   return c;
 }
 
@@ -97,19 +87,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.shape()[0], m = a.shape()[1], n = b.shape()[1];
   if (b.shape()[0] != k) throw std::invalid_argument("matmul_tn: inner dimension mismatch");
   Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  kernels::gemm_tn(a.data(), b.data(), c.data(), m, n, k);
   return c;
 }
 
@@ -119,18 +97,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[0];
   if (b.shape()[1] != k) throw std::invalid_argument("matmul_nt: inner dimension mismatch");
   Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = acc;
-    }
-  }
+  kernels::gemm_nt(a.data(), b.data(), c.data(), m, n, k);
   return c;
 }
 

@@ -116,6 +116,43 @@ TEST(GradCheck, Conv1DStack) {
   EXPECT_TRUE(r.passed) << "worst " << r.worst_param << " rel " << r.max_rel_err;
 }
 
+// Strided convs exercise the im2col path's stride/pad geometry: output taps
+// sample non-contiguous input windows and "same" padding is asymmetric.
+TEST(GradCheck, Conv2DStride2Same) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Conv2D>("c0", 3, 2, 3, Padding::kSame, 0.0f,
+                                            /*stride=*/2));
+  layers.push_back(std::make_unique<Activation>(ActKind::kTanh));
+  layers.push_back(std::make_unique<Flatten>());
+  layers.push_back(std::make_unique<Dense>("d", 3 * 3 * 3, 3));
+  Sequential net = make_net(std::move(layers));
+  const auto r = check_with_ce(net, Shape{5, 5, 2}, 3, 31);
+  EXPECT_TRUE(r.passed) << "worst " << r.worst_param << " rel " << r.max_rel_err;
+}
+
+TEST(GradCheck, Conv2DStride2Valid) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Conv2D>("c0", 3, 1, 3, Padding::kValid, 0.0f,
+                                            /*stride=*/2));
+  layers.push_back(std::make_unique<Flatten>());
+  layers.push_back(std::make_unique<Dense>("d", 3 * 2 * 2, 2));
+  Sequential net = make_net(std::move(layers));
+  const auto r = check_with_ce(net, Shape{6, 6, 1}, 2, 32);
+  EXPECT_TRUE(r.passed) << "worst " << r.worst_param << " rel " << r.max_rel_err;
+}
+
+TEST(GradCheck, Conv1DStride2Padded) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Conv1D>("c0", 3, 1, 4, Padding::kSame, 0.0f,
+                                            /*stride=*/2));
+  layers.push_back(std::make_unique<Activation>(ActKind::kRelu));
+  layers.push_back(std::make_unique<Flatten>());
+  layers.push_back(std::make_unique<Dense>("d", 4 * 5, 2));
+  Sequential net = make_net(std::move(layers));
+  const auto r = check_with_ce(net, Shape{9, 1}, 2, 41);
+  EXPECT_TRUE(r.passed) << "worst " << r.worst_param << " rel " << r.max_rel_err;
+}
+
 TEST(GradCheck, MaxPooling2D) {
   std::vector<LayerPtr> layers;
   layers.push_back(std::make_unique<Conv2D>("c0", 3, 1, 2, Padding::kSame));

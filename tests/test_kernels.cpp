@@ -1,0 +1,306 @@
+// Differential harness for the blocked/parallel compute kernels: every
+// blocked result must equal the retained naive:: reference (same reduction
+// order, so equality is exact), and results must be invariant across
+// compute-thread counts — the contract the trace bit-reproducibility of the
+// whole search stack rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exp/runner.hpp"
+#include "exp/trace_io.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace swt {
+namespace {
+
+namespace k = kernels;
+
+std::vector<float> random_vec(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Restores the compute-thread knob on scope exit so tests don't leak state.
+struct ThreadGuard {
+  int saved = k::compute_threads();
+  ~ThreadGuard() { k::set_compute_threads(saved); }
+};
+
+void expect_equal(const std::vector<float>& got, const std::vector<float>& want,
+                  const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << what << " diverges from reference at flat index "
+                               << i;
+  }
+}
+
+struct GemmShape {
+  std::int64_t m, n, k;
+};
+
+// Degenerate extents (1 and 0), tails off every blocking factor (MR=4,
+// NR=16/8, KC=128, NC=128), and panel-crossing sizes.
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},   {1, 5, 3},    {4, 16, 8},    {5, 17, 9},    {3, 130, 140},
+    {31, 33, 1}, {129, 7, 129}, {64, 64, 64}, {70, 150, 40}, {0, 8, 8},
+    {8, 0, 8},   {8, 8, 0},
+};
+
+class GemmDifferential : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmDifferential, AllVariantsMatchNaive) {
+  const auto [m, n, kk] = GetParam();
+  const ThreadGuard guard;
+  k::set_compute_threads(1);
+  const auto a = random_vec(std::max<std::int64_t>(m * kk, kk * m), 1000 + m);
+  const auto b = random_vec(std::max<std::int64_t>(kk * n, n * kk), 2000 + n);
+  const auto c0 = random_vec(m * n, 3000 + kk);  // accumulate seed content
+
+  struct Variant {
+    const char* name;
+    void (*blocked)(const float*, const float*, float*, std::int64_t, std::int64_t,
+                    std::int64_t, bool);
+    void (*naive)(const float*, const float*, float*, std::int64_t, std::int64_t,
+                  std::int64_t, bool);
+  };
+  const Variant variants[] = {
+      {"gemm_nn", &k::gemm_nn, &k::naive::gemm_nn},
+      {"gemm_tn", &k::gemm_tn, &k::naive::gemm_tn},
+      {"gemm_nt", &k::gemm_nt, &k::naive::gemm_nt},
+  };
+  for (const auto& v : variants) {
+    for (const bool accumulate : {false, true}) {
+      std::vector<float> got = c0, want = c0;
+      v.blocked(a.data(), b.data(), got.data(), m, n, kk, accumulate);
+      v.naive(a.data(), b.data(), want.data(), m, n, kk, accumulate);
+      expect_equal(got, want,
+                   (std::string(v.name) + (accumulate ? "+acc" : "")).c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmDifferential, ::testing::ValuesIn(kGemmShapes));
+
+TEST(Kernels, GemmBitIdenticalAcrossThreadCounts) {
+  // Large enough to clear kParallelFlopThreshold (2*150*170*190 ~ 9.7 MFLOP).
+  const std::int64_t m = 150, n = 170, kk = 190;
+  const auto a = random_vec(m * kk, 1);    // (m, kk) for nn/nt; (kk, m) for tn
+  const auto b = random_vec(kk * n, 2);    // (kk, n) for nn/tn; (n, kk) for nt
+  const ThreadGuard guard;
+  const auto bt = random_vec(n * kk, 3);   // (n, kk): B for nt
+
+  k::set_compute_threads(1);
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  k::gemm_nn(a.data(), b.data(), ref.data(), m, n, kk);
+  std::vector<float> ref_naive(static_cast<std::size_t>(m * n));
+  k::naive::gemm_nn(a.data(), b.data(), ref_naive.data(), m, n, kk);
+  ASSERT_EQ(0, std::memcmp(ref.data(), ref_naive.data(), ref.size() * sizeof(float)));
+
+  const auto run_all = [&](std::vector<float>& c_nn, std::vector<float>& c_tn,
+                           std::vector<float>& c_nt) {
+    k::gemm_nn(a.data(), b.data(), c_nn.data(), m, n, kk);
+    // tn reads A as stored (kk, m): same buffer, transposed interpretation.
+    k::gemm_tn(a.data(), b.data(), c_tn.data(), m, n, kk);
+    k::gemm_nt(a.data(), bt.data(), c_nt.data(), m, n, kk);
+  };
+  std::vector<float> nn1(ref.size()), tn1(ref.size()), nt1(ref.size());
+  run_all(nn1, tn1, nt1);
+  for (const int threads : {2, 8}) {
+    k::set_compute_threads(threads);
+    std::vector<float> nn(ref.size()), tn(ref.size()), nt(ref.size());
+    run_all(nn, tn, nt);
+    EXPECT_EQ(0, std::memcmp(nn.data(), nn1.data(), nn.size() * sizeof(float)))
+        << "gemm_nn at " << threads << " threads";
+    EXPECT_EQ(0, std::memcmp(tn.data(), tn1.data(), tn.size() * sizeof(float)))
+        << "gemm_tn at " << threads << " threads";
+    EXPECT_EQ(0, std::memcmp(nt.data(), nt1.data(), nt.size() * sizeof(float)))
+        << "gemm_nt at " << threads << " threads";
+  }
+}
+
+TEST(Kernels, ComputeThreadsKnob) {
+  const ThreadGuard guard;
+  k::set_compute_threads(3);
+  EXPECT_EQ(3, k::compute_threads());
+  k::set_compute_threads(0);  // reset to hardware default
+  EXPECT_GE(k::compute_threads(), 1);
+}
+
+// -----------------------------------------------------------------------
+// Convolution: im2col path vs direct naive loops
+// -----------------------------------------------------------------------
+
+struct ConvCase {
+  std::int64_t n, h, w, cin, kk, cout, stride, pad_h, pad_w;
+};
+
+// Output extents follow "same" ceil(in/stride) for the padded cases and
+// "valid" for pad 0; pad = max(0, (out-1)*stride + k - in) / 2.
+k::ConvGeom make_geom(const ConvCase& c) {
+  k::ConvGeom g;
+  g.n = c.n;
+  g.h = c.h;
+  g.w = c.w;
+  g.cin = c.cin;
+  g.kh = c.kk;
+  g.kw = c.kk;
+  g.cout = c.cout;
+  g.stride = c.stride;
+  g.pad_h = c.pad_h;
+  g.pad_w = c.pad_w;
+  g.oh = (c.h + 2 * c.pad_h - c.kk) / c.stride + 1;
+  g.ow = (c.w + 2 * c.pad_w - c.kk) / c.stride + 1;
+  return g;
+}
+
+const ConvCase kConvCases[] = {
+    {2, 6, 7, 3, 3, 4, 1, 1, 1},   // stride-1 "same"
+    {2, 6, 7, 3, 3, 4, 1, 0, 0},   // stride-1 "valid"
+    {1, 7, 9, 2, 3, 3, 2, 1, 1},   // stride-2 padded
+    {2, 8, 8, 1, 3, 2, 2, 0, 0},   // stride-2 "valid"
+    {1, 1, 1, 1, 1, 1, 1, 0, 0},   // 1x1 degenerate
+    {3, 1, 11, 2, 1, 3, 2, 0, 1},  // 1-D geometry (h = kh = 1), padded strided
+};
+
+class ConvDifferential : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvDifferential, ForwardMatchesNaive) {
+  const k::ConvGeom g = make_geom(GetParam());
+  const ThreadGuard guard;
+  const auto x = random_vec(g.n * g.h * g.w * g.cin, 11);
+  const auto w = random_vec(g.kh * g.kw * g.cin * g.cout, 12);
+  const auto bias = random_vec(g.cout, 13);
+  std::vector<float> want(static_cast<std::size_t>(g.patch_rows() * g.cout));
+  k::naive::conv_forward(x.data(), w.data(), bias.data(), want.data(), g);
+  for (const int threads : {1, 2, 8}) {
+    k::set_compute_threads(threads);
+    std::vector<float> got(want.size());
+    k::conv_forward(x.data(), w.data(), bias.data(), got.data(), g);
+    expect_equal(got, want, "conv_forward");
+  }
+}
+
+TEST_P(ConvDifferential, BackwardMatchesNaive) {
+  const k::ConvGeom g = make_geom(GetParam());
+  const ThreadGuard guard;
+  const std::int64_t x_size = g.n * g.h * g.w * g.cin;
+  const std::int64_t w_size = g.kh * g.kw * g.cin * g.cout;
+  const auto x = random_vec(x_size, 21);
+  const auto w = random_vec(w_size, 22);
+  const auto dy = random_vec(g.patch_rows() * g.cout, 23);
+  // dw/db are accumulated into; seed them so the test covers that contract.
+  const auto dw0 = random_vec(w_size, 24);
+  const auto db0 = random_vec(g.cout, 25);
+
+  std::vector<float> dx_want(static_cast<std::size_t>(x_size), 0.0f);
+  std::vector<float> dw_want = dw0, db_want = db0;
+  k::naive::conv_backward(x.data(), w.data(), dy.data(), dx_want.data(),
+                          dw_want.data(), db_want.data(), g);
+  for (const int threads : {1, 2, 8}) {
+    k::set_compute_threads(threads);
+    std::vector<float> dx(static_cast<std::size_t>(x_size), 0.0f);
+    std::vector<float> dw = dw0, db = db0;
+    k::conv_backward(x.data(), w.data(), dy.data(), dx.data(), dw.data(), db.data(),
+                     g);
+    expect_equal(dx, dx_want, "conv_backward dx");
+    expect_equal(dw, dw_want, "conv_backward dw");
+    expect_equal(db, db_want, "conv_backward db");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ConvDifferential, ::testing::ValuesIn(kConvCases));
+
+TEST(Kernels, Im2colLayoutAndPadding) {
+  // 1 image, 3x3x1 input, 3x3 kernel, stride 1, pad 1: the centre patch is
+  // the whole image; the corner patch has a zero border.
+  k::ConvGeom g;
+  g.n = 1;
+  g.h = 3;
+  g.w = 3;
+  g.cin = 1;
+  g.kh = 3;
+  g.kw = 3;
+  g.cout = 1;
+  g.oh = 3;
+  g.ow = 3;
+  g.stride = 1;
+  g.pad_h = 1;
+  g.pad_w = 1;
+  std::vector<float> x(9);
+  for (int i = 0; i < 9; ++i) x[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+  std::vector<float> col(static_cast<std::size_t>(g.patch_rows() * g.patch_cols()),
+                         -1.0f);
+  k::im2col(x.data(), col.data(), g);
+  // Patch (yo=1, xo=1) = row 4: all nine pixels in raster order.
+  for (int i = 0; i < 9; ++i)
+    EXPECT_EQ(static_cast<float>(i + 1), col[static_cast<std::size_t>(4 * 9 + i)]);
+  // Patch (0, 0) = row 0: first row and column fall outside -> zeros.
+  const float expect_row0[9] = {0, 0, 0, 0, 1, 2, 0, 4, 5};
+  for (int i = 0; i < 9; ++i)
+    EXPECT_EQ(expect_row0[i], col[static_cast<std::size_t>(i)]);
+}
+
+// -----------------------------------------------------------------------
+// NaN propagation: the old `if (a == 0.0f) continue;` fast path silently
+// evaluated 0 * NaN as 0.  IEEE requires NaN.
+// -----------------------------------------------------------------------
+
+TEST(Kernels, ZeroTimesNanPropagates) {
+  Tensor a(Shape{2, 2});  // all zeros
+  Tensor b(Shape{2, 2});
+  b.at(0, 0) = std::nanf("");
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));
+  EXPECT_EQ(0.0f, c.at(0, 1));
+
+  const Tensor c_tn = matmul_tn(b, a);  // NaN now on the A side of tn
+  EXPECT_TRUE(std::isnan(c_tn.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c_tn.at(0, 1)));
+
+  const Tensor c_nt = matmul_nt(a, b);
+  EXPECT_TRUE(std::isnan(c_nt.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c_nt.at(1, 0)));
+}
+
+// -----------------------------------------------------------------------
+// End-to-end: a fixed-seed search writes a byte-identical trace CSV at 1
+// and 4 compute threads (the registry/compare_runs CI gate's assumption).
+// -----------------------------------------------------------------------
+
+TEST(Kernels, SearchTraceBitReproducibleAcrossThreadCounts) {
+  const AppConfig app = make_app(AppId::kMnist, 11, {.data_scale = 0.2});
+  NasRunConfig cfg;
+  cfg.mode = TransferMode::kLCS;
+  cfg.n_evals = 10;
+  cfg.seed = 7;
+  cfg.evolution = {.population_size = 4, .sample_size = 2};
+  // Fixed virtual train time: wall-clock noise would otherwise differ in the
+  // CSV regardless of the kernels.
+  cfg.cluster.fixed_train_seconds = 5.0;
+
+  const ThreadGuard guard;
+  const auto run_to_csv = [&](int threads) {
+    k::set_compute_threads(threads);
+    const NasRun run = run_nas(app, cfg);
+    std::ostringstream csv;
+    write_trace_csv(csv, run.trace);
+    return csv.str();
+  };
+  const std::string csv1 = run_to_csv(1);
+  const std::string csv4 = run_to_csv(4);
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4) << "trace CSV differs between 1 and 4 compute threads";
+}
+
+}  // namespace
+}  // namespace swt

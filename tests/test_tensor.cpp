@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace swt {
@@ -133,6 +135,17 @@ TEST(Matmul, NtMatchesExplicitTranspose) {
   for (std::int64_t i = 0; i < 5; ++i)
     for (std::int64_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
   EXPECT_LT(max_abs_diff(matmul_nt(a, b), matmul(a, bt)), 1e-5f);
+}
+
+TEST(Matmul, ZeroRowTimesNanIsNan) {
+  // The old kernels skipped a == 0.0f terms, so a zero activation silently
+  // masked a NaN weight.  0 * NaN must be NaN.
+  Tensor a(Shape{1, 2});  // zeros
+  Tensor b(Shape{2, 1});
+  b.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(matmul(a, b).at(0, 0)));
+  Tensor at(Shape{2, 1});  // zeros, stored transposed
+  EXPECT_TRUE(std::isnan(matmul_tn(at, b).at(0, 0)));
 }
 
 TEST(GatherRows, PicksAndReorders) {
