@@ -1,0 +1,128 @@
+// Wavefront parallelism study: wall-clock speedup of --eval-parallelism.
+//
+// The virtual cluster dispatches up to `num_workers` mutually independent
+// evaluations at every virtual instant; eval_parallelism > 1 trains them on
+// real threads.  The determinism contract says the trace must stay
+// *byte-identical* to the serial run — this binary enforces that with a
+// byte-compare of the trace CSVs (exit non-zero on divergence, like
+// bench_gemm's memcmp self-check) and reports the wall-clock speedup per
+// parallelism level.  Target: > 1.5x at parallelism 4 on a 4-core host;
+// on smaller hosts the speedup column degrades gracefully toward 1x and
+// the target is reported as not applicable.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "exp/trace_io.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+/// Cost of one submit + wait_idle round trip on the pool that carries the
+/// wavefront — the per-instant dispatch overhead the scheduler pays.
+void BM_PoolDispatchJoin(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (long i = 0; i < state.range(0); ++i)
+      pool.submit([] { benchmark::ClobberMemory(); });
+    pool.wait_idle();
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " tasks");
+}
+BENCHMARK(BM_PoolDispatchJoin)->Arg(1)->Arg(4)->Arg(8);
+
+NasRunConfig arm_config(long evals, int parallelism) {
+  NasRunConfig cfg = standard_run_config(TransferMode::kLCS, 1, evals);
+  // Fixed virtual durations pin the whole virtual timeline, making the
+  // serial and parallel trace CSVs byte-comparable; the *real* training
+  // still runs in full, so wall time measures the actual speedup.
+  cfg.cluster.fixed_train_seconds = 2.0;
+  cfg.cluster.eval_parallelism = parallelism;
+  return cfg;
+}
+
+struct ArmResult {
+  double wall_s = 1e300;       // min over repeats
+  std::string trace_csv;       // identical across repeats (checked)
+  bool repeat_stable = true;
+};
+
+ArmResult run_arm(const AppConfig& app, long evals, int parallelism, int repeats) {
+  ArmResult arm;
+  for (int r = 0; r < repeats; ++r) {
+    const WallTimer timer;
+    const NasRun run = run_nas(app, arm_config(evals, parallelism));
+    const double s = timer.seconds();
+    benchmark::DoNotOptimize(run.trace.makespan);
+    arm.wall_s = std::min(arm.wall_s, s);
+    std::ostringstream csv;
+    write_trace_csv(csv, run.trace);
+    if (arm.trace_csv.empty())
+      arm.trace_csv = csv.str();
+    else if (arm.trace_csv != csv.str())
+      arm.repeat_stable = false;
+  }
+  return arm;
+}
+
+/// Returns false on a determinism violation (byte-diverging traces).
+bool wavefront_experiment() {
+  print_repro_note("wavefront-parallel candidate evaluation (execution-substrate study)");
+  const int repeats = std::max(2, bench_seeds());
+  const long evals = bench_evals();
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const AppConfig app = make_app(AppId::kMnist, 1);
+
+  (void)run_arm(app, evals, 1, 1);  // warm-up: dataset + allocator growth
+
+  const std::vector<int> levels = {1, 2, 4};
+  std::vector<ArmResult> arms;
+  for (int p : levels) arms.push_back(run_arm(app, evals, p, repeats));
+  const double serial_s = arms[0].wall_s;
+
+  bool ok = true;
+  TableReport table({"eval-parallelism", "wall s (min of N)", "speedup", "trace"});
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const bool identical =
+        arms[i].repeat_stable && arms[i].trace_csv == arms[0].trace_csv;
+    if (!identical) ok = false;
+    table.add_row({std::to_string(levels[i]), TableReport::cell(arms[i].wall_s, 3),
+                   TableReport::cell(serial_s / arms[i].wall_s, 2) + "x",
+                   identical ? "byte-identical" : "DIVERGED"});
+  }
+  table.print(std::cout);
+
+  const double speedup4 = serial_s / arms.back().wall_s;
+  std::cout << "\nsearch: mnist/LCS, " << evals << " evals, 8 virtual workers, "
+            << repeats << " repeats | host cores: " << cores << "\n";
+  if (!ok) {
+    std::cout << "FAIL: parallel trace diverged from the serial oracle.\n";
+  } else if (cores >= 4) {
+    std::cout << (speedup4 > 1.5
+                      ? "PASS: >1.5x wall-clock speedup at parallelism 4.\n"
+                      : "WARN: speedup at parallelism 4 below the 1.5x target "
+                        "on this host/run.\n");
+  } else {
+    std::cout << "NOTE: host has " << cores
+              << " core(s); the 1.5x speedup target applies to >=4-core hosts. "
+                 "Trace byte-identity still verified.\n";
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("bench_wavefront");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return wavefront_experiment() ? 0 : 1;
+}

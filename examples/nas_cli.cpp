@@ -45,7 +45,7 @@ using namespace swt;
                "       [--metrics-out file.json|file.csv] [--trace-out spans.json]\n"
                "       [--events-out events.ndjson|-] [--progress]\n"
                "       [--registry-dir DIR] [--fixed-train-seconds S]\n"
-               "       [--compute-threads N]\n"
+               "       [--compute-threads N] [--eval-parallelism N]\n"
                "       [--log-level debug|info|warn|error|off]\n"
                "       [--mtbf S] [--straggler-rate P] [--straggler-mult M]\n"
                "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
@@ -62,6 +62,11 @@ using namespace swt;
                "  --compute-threads N  row partitions for the blocked GEMM/conv kernels\n"
                "                      (default: SWT_THREADS env, else hardware threads;\n"
                "                      results are bit-identical for every value)\n"
+               "  --eval-parallelism N train up to N same-instant evaluations on real\n"
+               "                      threads (default 1 = serial; traces are byte-\n"
+               "                      identical for every value; N>1 runs each eval's\n"
+               "                      kernels serially, overriding --compute-threads\n"
+               "                      inside those evals)\n"
                "\n"
                "fault injection (all off by default; see DESIGN.md):\n"
                "  --mtbf S            mean virtual seconds of compute between worker\n"
@@ -112,7 +117,7 @@ class ProgressMeter {
       case EventType::kWorkerCrashed: ++crashed_; break;
       case EventType::kBestScoreImproved:
         for (const auto& [key, value] : ev.fields)
-          if (key == "score") best_ = std::stod(value);
+          if (key == "score" && value != "null") best_ = std::stod(value);
         break;
       default: break;
     }
@@ -191,6 +196,7 @@ int main(int argc, char** argv) try {
     else if (arg == "--progress") progress = true;
     else if (arg == "--fixed-train-seconds") cfg.cluster.fixed_train_seconds = std::stod(next());
     else if (arg == "--compute-threads") kernels::set_compute_threads(std::stoi(next()));
+    else if (arg == "--eval-parallelism") cfg.cluster.eval_parallelism = std::stoi(next());
     else if (arg == "--log-level") {
       const auto level = parse_log_level(next());
       if (!level.has_value()) usage(argv[0]);
@@ -217,7 +223,8 @@ int main(int argc, char** argv) try {
             << " evals=" << cfg.n_evals << " workers=" << cfg.cluster.num_workers
             << " seed=" << cfg.seed << " async=" << cfg.cluster.async_checkpointing
             << " compress=" << to_string(compression)
-            << " compute-threads=" << kernels::compute_threads() << "\n";
+            << " compute-threads=" << kernels::compute_threads()
+            << " eval-parallelism=" << cfg.cluster.eval_parallelism << "\n";
 
   cfg.compression = compression;
   if (!trace_out.empty()) SpanTracer::global().set_enabled(true);

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/quality.hpp"
 #include "obs/span_tracer.hpp"
+#include "tensor/kernels.hpp"
 
 namespace swt {
 
@@ -85,6 +89,8 @@ void emit_eval_spans(SpanTracer& tracer, const EvalRecord& rec) {
 Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
                  const ClusterConfig& cfg, Rng& rng) {
   if (cfg.num_workers <= 0) throw std::invalid_argument("run_search: need >= 1 worker");
+  if (cfg.eval_parallelism <= 0)
+    throw std::invalid_argument("run_search: eval_parallelism must be >= 1");
   const FaultModel fault_model(cfg.faults);
   const FaultModel* faults = fault_model.enabled() ? &fault_model : nullptr;
   const int max_attempts = std::max(1, cfg.faults.max_attempts);
@@ -126,6 +132,129 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
   long submitted = 0;  // fresh proposals issued (resubmissions reuse their id)
   long finished = 0;   // completed records + permanently lost evaluations
 
+  // Wavefront execution substrate.  The evaluations handed out at one
+  // virtual instant are mutually independent (a parent must be *reported*
+  // — i.e. virtually complete — before the strategy can select it), so
+  // their real training may run concurrently.  They get a dedicated pool
+  // rather than ThreadPool::global(): trainer kernels dispatch row chunks
+  // onto the global pool, and eval tasks blocking inside it while their
+  // nested chunks sit behind them in the same queue would deadlock.  Eval
+  // tasks instead pin their kernels serial (ScopedSerialKernels) — the
+  // cores are already saturated at task level, and the kernel determinism
+  // contract makes that a pure scheduling choice.
+  std::unique_ptr<ThreadPool> eval_pool;
+  if (cfg.eval_parallelism > 1)
+    eval_pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(
+        std::min(cfg.eval_parallelism, cfg.num_workers)));
+
+  // Post-training bookkeeping for one dispatched evaluation: charge virtual
+  // time, model checkpoint costs, decide crashes, and enqueue the completion
+  // event.  Runs on the scheduler thread only, in worker order — so the
+  // virtual timeline, float accumulation order and heap contents are
+  // identical whether the training itself ran serially or on the pool.
+  const auto finish_dispatch = [&](int w, long id, EvalRecord rec, Proposal proposal) {
+    // In fixed-duration mode (tests, CI baselines) the measured train and
+    // transfer wall times are excluded from the virtual timeline *and*
+    // overwritten in the record, so the whole persisted trace — not just
+    // the clock — is bit-reproducible; the mechanism cost is micro-seconds
+    // here and <150 ms in the paper.
+    if (cfg.fixed_train_seconds >= 0.0) {
+      rec.train_seconds = cfg.fixed_train_seconds;
+      rec.transfer_seconds = 0.0;
+    }
+    double compute_virtual =
+        cfg.fixed_train_seconds >= 0.0
+            ? cfg.fixed_train_seconds
+            : rec.train_seconds * cfg.time_scale + rec.transfer_seconds;
+    const double straggle =
+        faults != nullptr ? faults->straggler_factor(id, rec.attempt) : 1.0;
+    if (straggle > 1.0) {
+      rec.faults |= kFaultStraggler;
+      compute_virtual *= straggle;
+    }
+
+    // Checkpoint cost model.  Synchronous: the worker pays the full write.
+    // Asynchronous: it pays only the enqueue latency, the drain completes
+    // in the background, and a read of a still-draining parent stalls.
+    rec.ckpt_write_charged =
+        rec.ckpt_bytes == 0
+            ? 0.0
+            : (cfg.async_checkpointing ? cfg.async_enqueue_latency_s
+                                       : rec.ckpt_write_cost);
+    if (rec.ckpt_read_cost > 0.0 && cfg.async_checkpointing) {
+      const auto it = ckpt_available_at.find(rec.parent_id);
+      if (it != ckpt_available_at.end() && it->second > clock)
+        rec.ckpt_read_wait = it->second - clock;
+    }
+    const double duration = compute_virtual + rec.ckpt_read_wait + rec.ckpt_read_cost +
+                            rec.ckpt_write_charged + rec.retry_seconds;
+    rec.virtual_start = clock;
+    rec.worker = w;
+
+    // Crash exposure scales with the attempt's (straggler-stretched)
+    // compute time.  A crashed attempt's result is discarded: nothing is
+    // reported, its checkpoint never becomes readable, and the worker is
+    // out of the pool until it recovers.
+    const FaultModel::CrashDecision cd =
+        faults != nullptr ? faults->crash(id, rec.attempt, compute_virtual)
+                          : FaultModel::CrashDecision{};
+    if (cd.crashed) {
+      rec.faults |= kFaultCrash;
+      const double crash_at = clock + cd.work_fraction * duration;
+      rec.virtual_finish = crash_at;
+      ++trace.crashed_attempts;
+      trace.lost_train_seconds += cd.work_fraction * compute_virtual;
+      busy_seconds += crash_at - clock;
+      recovery_seconds += cfg.faults.worker_recovery_s;
+      if (tracer.enabled()) {
+        tracer.complete("crash (eval " + std::to_string(id) + ")", "fault",
+                        kTraceVirtualPid, w, clock * 1e6, (crash_at - clock) * 1e6,
+                        {{"attempt", std::to_string(rec.attempt)}});
+        tracer.complete("recovery", "fault", kTraceVirtualPid, w, crash_at * 1e6,
+                        cfg.faults.worker_recovery_s * 1e6);
+      }
+      if (bus.enabled()) {
+        bus.emit(EventType::kWorkerCrashed, crash_at, w, id,
+                 {{"attempt", std::to_string(rec.attempt)},
+                  {"lost_s", json_number(cd.work_fraction * compute_virtual)}});
+        // The recovery end is known now; emitted eagerly with its virtual
+        // timestamp, so the stream stays strictly append-only.
+        bus.emit(EventType::kWorkerRecovered,
+                 crash_at + cfg.faults.worker_recovery_s, w);
+      }
+      worker_free[static_cast<std::size_t>(w)] =
+          crash_at + cfg.faults.worker_recovery_s;
+      in_flight.push(InFlight{crash_at, std::move(rec), w, /*crashed=*/true,
+                              std::move(proposal)});
+      return;
+    }
+    busy_seconds += duration;
+
+    rec.virtual_finish = clock + duration;
+    if (rec.ckpt_bytes > 0) {
+      // Sync: readable once the evaluation finishes.  Async: the drain
+      // starts at the end of the evaluation and takes the full write cost.
+      rec.ckpt_available_at = cfg.async_checkpointing
+                                  ? rec.virtual_finish + rec.ckpt_write_cost
+                                  : rec.virtual_finish;
+      ckpt_available_at.emplace(rec.id, rec.ckpt_available_at);
+    }
+    worker_free[static_cast<std::size_t>(w)] = rec.virtual_finish;
+    in_flight.push(InFlight{rec.virtual_finish, std::move(rec), w,
+                            /*crashed=*/false, Proposal{}});
+  };
+
+  // One evaluation selected for an idle worker but not yet trained — the
+  // unit of wavefront parallelism.
+  struct Dispatch {
+    int worker;
+    long id;
+    int attempt;
+    Proposal proposal;
+    EvalRecord record;
+  };
+  std::vector<Dispatch> wavefront;
+
   while (finished < n_evals) {
     // Hand work to every worker that is idle at the current virtual time —
     // resubmissions of crashed attempts first, then fresh proposals.  All
@@ -152,96 +281,32 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
       if (bus.enabled())
         bus.emit(EventType::kEvalStarted, clock, w, id,
                  {{"attempt", std::to_string(attempt)}});
-      EvalRecord rec = evaluator.evaluate(id, proposal, attempt, faults);
-      // In fixed-duration mode (tests, CI baselines) the measured train and
-      // transfer wall times are excluded from the virtual timeline *and*
-      // overwritten in the record, so the whole persisted trace — not just
-      // the clock — is bit-reproducible; the mechanism cost is micro-seconds
-      // here and <150 ms in the paper.
-      if (cfg.fixed_train_seconds >= 0.0) {
-        rec.train_seconds = cfg.fixed_train_seconds;
-        rec.transfer_seconds = 0.0;
+      if (eval_pool == nullptr) {
+        // Serial substrate: train inline, exactly the historical path.
+        EvalRecord rec = evaluator.evaluate(id, proposal, attempt, faults);
+        finish_dispatch(w, id, std::move(rec), std::move(proposal));
+      } else {
+        wavefront.push_back(Dispatch{w, id, attempt, std::move(proposal), {}});
       }
-      double compute_virtual =
-          cfg.fixed_train_seconds >= 0.0
-              ? cfg.fixed_train_seconds
-              : rec.train_seconds * cfg.time_scale + rec.transfer_seconds;
-      const double straggle =
-          faults != nullptr ? faults->straggler_factor(id, attempt) : 1.0;
-      if (straggle > 1.0) {
-        rec.faults |= kFaultStraggler;
-        compute_virtual *= straggle;
+    }
+    if (eval_pool != nullptr && !wavefront.empty()) {
+      // Train the whole wavefront concurrently.  Each task only touches its
+      // own Dispatch slot plus thread-safe shared services (checkpoint
+      // store, metrics, event bus, logger); the vector is fully built
+      // before the first submit, so the slots are address-stable.
+      for (Dispatch& d : wavefront) {
+        eval_pool->submit([&evaluator, &d, faults] {
+          const kernels::ScopedSerialKernels serial_kernels;
+          d.record = evaluator.evaluate(d.id, d.proposal, d.attempt, faults);
+        });
       }
-
-      // Checkpoint cost model.  Synchronous: the worker pays the full write.
-      // Asynchronous: it pays only the enqueue latency, the drain completes
-      // in the background, and a read of a still-draining parent stalls.
-      rec.ckpt_write_charged =
-          rec.ckpt_bytes == 0
-              ? 0.0
-              : (cfg.async_checkpointing ? cfg.async_enqueue_latency_s
-                                         : rec.ckpt_write_cost);
-      if (rec.ckpt_read_cost > 0.0 && cfg.async_checkpointing) {
-        const auto it = ckpt_available_at.find(rec.parent_id);
-        if (it != ckpt_available_at.end() && it->second > clock)
-          rec.ckpt_read_wait = it->second - clock;
-      }
-      const double duration = compute_virtual + rec.ckpt_read_wait + rec.ckpt_read_cost +
-                              rec.ckpt_write_charged + rec.retry_seconds;
-      rec.virtual_start = clock;
-      rec.worker = w;
-
-      // Crash exposure scales with the attempt's (straggler-stretched)
-      // compute time.  A crashed attempt's result is discarded: nothing is
-      // reported, its checkpoint never becomes readable, and the worker is
-      // out of the pool until it recovers.
-      const FaultModel::CrashDecision cd =
-          faults != nullptr ? faults->crash(id, attempt, compute_virtual)
-                            : FaultModel::CrashDecision{};
-      if (cd.crashed) {
-        rec.faults |= kFaultCrash;
-        const double crash_at = clock + cd.work_fraction * duration;
-        rec.virtual_finish = crash_at;
-        ++trace.crashed_attempts;
-        trace.lost_train_seconds += cd.work_fraction * compute_virtual;
-        busy_seconds += crash_at - clock;
-        recovery_seconds += cfg.faults.worker_recovery_s;
-        if (tracer.enabled()) {
-          tracer.complete("crash (eval " + std::to_string(id) + ")", "fault",
-                          kTraceVirtualPid, w, clock * 1e6, (crash_at - clock) * 1e6,
-                          {{"attempt", std::to_string(rec.attempt)}});
-          tracer.complete("recovery", "fault", kTraceVirtualPid, w, crash_at * 1e6,
-                          cfg.faults.worker_recovery_s * 1e6);
-        }
-        if (bus.enabled()) {
-          bus.emit(EventType::kWorkerCrashed, crash_at, w, id,
-                   {{"attempt", std::to_string(rec.attempt)},
-                    {"lost_s", json_number(cd.work_fraction * compute_virtual)}});
-          // The recovery end is known now; emitted eagerly with its virtual
-          // timestamp, so the stream stays strictly append-only.
-          bus.emit(EventType::kWorkerRecovered,
-                   crash_at + cfg.faults.worker_recovery_s, w);
-        }
-        worker_free[static_cast<std::size_t>(w)] =
-            crash_at + cfg.faults.worker_recovery_s;
-        in_flight.push(InFlight{crash_at, std::move(rec), w, /*crashed=*/true,
-                                std::move(proposal)});
-        continue;
-      }
-      busy_seconds += duration;
-
-      rec.virtual_finish = clock + duration;
-      if (rec.ckpt_bytes > 0) {
-        // Sync: readable once the evaluation finishes.  Async: the drain
-        // starts at the end of the evaluation and takes the full write cost.
-        rec.ckpt_available_at = cfg.async_checkpointing
-                                    ? rec.virtual_finish + rec.ckpt_write_cost
-                                    : rec.virtual_finish;
-        ckpt_available_at.emplace(rec.id, rec.ckpt_available_at);
-      }
-      worker_free[static_cast<std::size_t>(w)] = rec.virtual_finish;
-      in_flight.push(InFlight{rec.virtual_finish, std::move(rec), w,
-                              /*crashed=*/false, Proposal{}});
+      eval_pool->wait_idle();  // rethrows the first evaluation failure, if any
+      // Deliver in worker order — the same order the serial path interleaves
+      // bookkeeping — so virtual timestamps, float sums and the completion
+      // heap come out bit-identical.
+      for (Dispatch& d : wavefront)
+        finish_dispatch(d.worker, d.id, std::move(d.record), std::move(d.proposal));
+      wavefront.clear();
     }
 
     if (in_flight.empty()) {

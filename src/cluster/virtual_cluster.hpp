@@ -3,12 +3,14 @@
 // The paper runs DeepHyper with Ray evaluators on up to 32 GPUs; candidate
 // scores come from real training, but the *scheduling* (async completion,
 // scalability, checkpoint overhead share) is what Figs. 7 and 10 measure.
-// The host here has a single CPU core, so instead of oversubscribed threads
-// we simulate N workers with a virtual clock: every evaluation is executed
-// for real (serially) and its measured training time plus its modelled
-// checkpoint I/O time advances the clock of the worker it is assigned to.
-// The strategy sees results in virtual-completion order, exactly as an
-// asynchronous scheduler would.
+// We simulate N workers with a virtual clock: every evaluation is executed
+// for real and its measured training time plus its modelled checkpoint I/O
+// time advances the clock of the worker it is assigned to.  The strategy
+// sees results in virtual-completion order, exactly as an asynchronous
+// scheduler would.  On multi-core hosts the evaluations dispatched at one
+// virtual instant (mutually independent by construction) can additionally
+// train concurrently — `ClusterConfig::eval_parallelism` — without changing
+// a single byte of the resulting trace.
 #pragma once
 
 #include <vector>
@@ -20,6 +22,16 @@ namespace swt {
 
 struct ClusterConfig {
   int num_workers = 8;
+  /// Real threads used to train the evaluations dispatched at one virtual
+  /// instant (the "wavefront").  Those evaluations are mutually independent
+  /// by construction — a candidate's parent must have *completed* (strictly
+  /// earlier in virtual time) before the strategy could select it — so their
+  /// real training can run concurrently without changing any result.  1 =
+  /// fully serial execution (the historical path); values > 1 run up to that
+  /// many evaluations at once on a dedicated thread pool, with per-eval
+  /// compute kernels forced serial.  Traces are bit-identical for every
+  /// value (see DESIGN.md "Wavefront parallelism").
+  int eval_parallelism = 1;
   /// Scale factor applied to measured training seconds before they are
   /// charged to the virtual clock (1.0 = measured time).
   double time_scale = 1.0;

@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace swt {
 
@@ -24,6 +26,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::scoped_lock lock(mutex_);
+    if (stop_) throw std::runtime_error("ThreadPool::submit on a stopping pool");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -31,8 +34,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -50,7 +58,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::scoped_lock lock(mutex_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -4,13 +4,22 @@
 // event loop because candidate *scores* must be computed by real training on
 // whatever cores exist; this pool is the real-concurrency substrate used for
 // data-parallel inner loops (e.g. batched tensor ops, pair-sampling studies)
-// when more than one hardware thread is available.  With one core it degrades
-// gracefully to serial execution.
+// and for wavefront-parallel candidate evaluation when more than one hardware
+// thread is available.  With one core it degrades gracefully to serial
+// execution.
+//
+// Exception contract: a throwing task does NOT terminate the process.  The
+// first exception is captured; remaining queued tasks still run (so the pool
+// always drains back to idle) and the captured exception is rethrown from the
+// next wait_idle() / parallel_for() on this pool.  Later exceptions raised
+// before that rethrow are dropped — first error wins, mirroring what a serial
+// loop would have surfaced.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,6 +31,10 @@ class ThreadPool {
  public:
   /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue (already-submitted tasks still run), then joins.  A
+  /// pending captured exception that nobody waited for is discarded —
+  /// destructors cannot throw.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -29,10 +42,14 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; returns immediately.
+  /// Enqueue a task; returns immediately.  Throws std::runtime_error if the
+  /// pool is shutting down (submit racing the destructor either enqueues the
+  /// task — which then runs during the drain — or throws; never a silent
+  /// drop, never a deadlock).
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has completed.
+  /// Block until every submitted task has completed.  Rethrows the first
+  /// exception any task threw since the last wait (clearing it).
   void wait_idle();
 
   /// Process-wide pool, sized to the hardware.
@@ -48,11 +65,12 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 /// Run fn(i) for i in [0, n), partitioned into contiguous blocks across the
-/// pool.  Blocks until all iterations complete.  Exceptions thrown by fn
-/// terminate the process (tasks are noexcept boundaries by design).
+/// pool.  Blocks until all iterations complete.  If any iteration throws, the
+/// remaining blocks still run and the first exception is rethrown here.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool = nullptr);
 

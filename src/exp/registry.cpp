@@ -1,5 +1,6 @@
 #include "exp/registry.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -102,8 +103,15 @@ RunRecord make_run_record(std::string_view app_name, const NasRunConfig& cfg,
   char iso[32];
   std::strftime(iso, sizeof(iso), "%Y-%m-%dT%H:%M:%SZ", &tm);
   rec.timestamp = iso;
+  // Millisecond timestamps alone collide when two runs start in the same
+  // millisecond (bench sweeps launch dozens back to back), and a colliding
+  // run_id silently corrupts compare_runs baselines.  The config hash
+  // separates concurrent runs of different configurations, and a
+  // process-local counter separates same-config repeats within a process.
+  static std::atomic<long> run_counter{0};
   rec.run_id = rec.app + "-" + rec.mode + "-s" + std::to_string(rec.seed) + "-" +
-               std::to_string(millis);
+               std::to_string(millis) + "-" + rec.config_hash + "-" +
+               std::to_string(run_counter.fetch_add(1, std::memory_order_relaxed));
 
   for (const EvalRecord& r : top_k(trace, 5)) rec.top_scores.push_back(r.score);
   rec.best_score = rec.top_scores.empty() ? 0.0 : rec.top_scores.front();

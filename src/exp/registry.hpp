@@ -21,7 +21,7 @@ namespace swt {
 
 /// One completed run, as remembered by the registry.
 struct RunRecord {
-  std::string run_id;       ///< "<app>-<mode>-s<seed>-<epoch millis>"
+  std::string run_id;       ///< "<app>-<mode>-s<seed>-<millis>-<cfg hash>-<counter>"
   std::string timestamp;    ///< UTC, ISO 8601
   std::string git_describe; ///< $SWTNAS_GIT_DESCRIBE, or "unknown"
   std::string app;

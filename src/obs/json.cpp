@@ -32,7 +32,7 @@ std::string json_escape(std::string_view s) {
 }
 
 std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15)
     return std::to_string(static_cast<long long>(v));
   char buf[32];

@@ -16,8 +16,11 @@ namespace swt {
 /// Escape `s` for inclusion inside a JSON string literal (no quotes added).
 [[nodiscard]] std::string json_escape(std::string_view s);
 
-/// Shortest round-trippable decimal representation; "0" for non-finite
-/// values (JSON has no NaN/Inf).
+/// Shortest round-trippable decimal representation; "null" for non-finite
+/// values (JSON has no NaN/Inf tokens, and a bare `nan` would make the
+/// whole document unparseable — NaN scores are reachable since the kernels
+/// stopped skipping 0*NaN terms).  Consumers read such fields back through
+/// JsonValue::number_or, which maps null to the caller's fallback.
 [[nodiscard]] std::string json_number(double v);
 
 /// Parsed JSON value.  Objects keep their keys sorted (std::map), which is

@@ -433,6 +433,14 @@ int compute_threads() noexcept {
   return v;
 }
 
+// Reuses the nested-dispatch guard: a thread marked "in a compute chunk"
+// always takes parallel_rows' serial path.
+ScopedSerialKernels::ScopedSerialKernels() noexcept : prev_(tl_in_compute_chunk) {
+  tl_in_compute_chunk = true;
+}
+
+ScopedSerialKernels::~ScopedSerialKernels() { tl_in_compute_chunk = prev_; }
+
 void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
              bool accumulate) {
   if (m <= 0 || n <= 0) return;

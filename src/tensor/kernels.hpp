@@ -42,6 +42,25 @@ namespace swt::kernels {
 void set_compute_threads(int n) noexcept;
 [[nodiscard]] int compute_threads() noexcept;
 
+/// RAII guard: while alive, kernels invoked from the *current thread* run
+/// serially instead of dispatching row chunks to the shared pool.  Used by
+/// callers that are themselves one of several concurrent compute tasks —
+/// e.g. wavefront-parallel candidate evaluations — where (a) the cores are
+/// already saturated by task-level parallelism and (b) nested pool dispatch
+/// from inside pool-blocked threads could starve the queue.  Results are
+/// bit-identical either way (fixed-reduction-order contract above).  Nests
+/// safely; per-thread, so guards on one thread do not affect another.
+class ScopedSerialKernels {
+ public:
+  ScopedSerialKernels() noexcept;
+  ~ScopedSerialKernels();
+  ScopedSerialKernels(const ScopedSerialKernels&) = delete;
+  ScopedSerialKernels& operator=(const ScopedSerialKernels&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Kernels whose useful-FLOP count is below this run serially: at a few
 /// GFLOP/s the work itself is ~100 us, an order of magnitude above the
 /// pool's dispatch+join cost, so threading only starts where it can win.

@@ -9,12 +9,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/span_tracer.hpp"
 
@@ -282,6 +284,69 @@ TEST(JsonParser, ParsesNestedDocuments) {
   EXPECT_TRUE(doc.at("t").boolean);
   EXPECT_EQ(doc.at("n").kind, JsonValue::Kind::kNull);
   EXPECT_EQ(doc.at("missing").kind, JsonValue::Kind::kNull);
+}
+
+// ----------------------------------------------- non-finite doubles -> null
+// JSON has no NaN/Inf tokens; a bare `nan` in a document makes the whole
+// file unparseable by parse_json.  NaN scores are reachable (the kernels
+// deliberately propagate 0*NaN), so every writer routes doubles through
+// json_number, which must map non-finite values to `null`.
+
+TEST(JsonNumber, NonFiniteValuesEmitNull) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(1.5), "1.5");  // finite values unaffected
+}
+
+TEST(JsonNumber, NullRoundTripsThroughParserToFallback) {
+  const JsonValue doc = parse_json("{\"score\":" + json_number(std::nan("")) + "}");
+  EXPECT_EQ(doc.at("score").kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc.number_or("score", -1.0), -1.0);
+}
+
+TEST(EventBus, NanEventFieldStreamsAsParseableNdjson) {
+  EventBus bus;
+  std::ostringstream sink;
+  bus.set_stream(&sink);
+  bus.set_enabled(true);
+  bus.emit(EventType::kEvalFinished, 1.0, 0, 7,
+           {{"score", json_number(std::nan(""))}});
+  bus.set_enabled(false);
+  bus.set_stream(nullptr);
+  const std::string out = sink.str();
+  ASSERT_FALSE(out.empty());
+  const JsonValue doc = parse_json(out.substr(0, out.find('\n')));
+  EXPECT_EQ(doc.string_or("ev", ""), "eval_finished");
+  EXPECT_EQ(doc.at("score").kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc.number_or("id", -1.0), 7.0);
+}
+
+TEST(MetricsRegistry, NonFiniteGaugeSerializesAsParseableJson) {
+  MetricsRegistry reg;
+  reg.gauge("bad").set(std::nan(""));
+  reg.gauge("good").set(2.5);
+  std::ostringstream os;
+  write_metrics_json(os, reg.snapshot());
+  const JsonValue doc = parse_json(os.str());  // must not choke on `nan`
+  EXPECT_EQ(doc.at("gauges").at("bad").kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").number_or("bad", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").number_or("good", -1.0), 2.5);
+}
+
+TEST(SpanTracer, NanSpanArgSerializesAsParseableJson) {
+  SpanTracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete("eval", "eval", kTraceVirtualPid, 0, 1'000.0, 500.0,
+                  {{"score", json_number(std::nan(""))}});
+  std::ostringstream os;
+  write_trace_json(os, tracer.events());
+  std::istringstream is(os.str());
+  const auto back = read_trace_json(is);  // must not choke on `nan`
+  ASSERT_FALSE(back.empty());
+  const TraceEvent& span = back.back();
+  ASSERT_EQ(span.args.size(), 1u);
+  EXPECT_EQ(span.args[0].second, "null");
 }
 
 TEST(JsonParser, RejectsMalformedInput) {

@@ -91,6 +91,24 @@ TEST(Registry, AppendAndReadBack) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Registry, RunIdsAreUniqueWithinAMillisecond) {
+  // Two records made back to back usually share the epoch-millisecond stamp;
+  // before the config-hash + counter suffix they collided, silently
+  // corrupting compare_runs baselines.
+  NasRunConfig cfg;
+  cfg.mode = TransferMode::kLCS;
+  cfg.n_evals = 1;
+  cfg.seed = 7;
+  const Trace trace;  // empty trace is fine: only identity fields matter here
+  const RunRecord a = make_run_record("MNIST", cfg, trace, 0.1);
+  const RunRecord b = make_run_record("MNIST", cfg, trace, 0.1);
+  EXPECT_NE(a.run_id, b.run_id);
+  // The id embeds the config hash, so same-millisecond runs of *different*
+  // configs differ even if the counter were per-config.
+  EXPECT_NE(a.run_id.find(a.config_hash), std::string::npos) << a.run_id;
+  EXPECT_NE(b.run_id.find(b.config_hash), std::string::npos) << b.run_id;
+}
+
 TEST(Registry, ConfigHashIsStableAndSensitive) {
   NasRunConfig cfg;
   cfg.mode = TransferMode::kLCS;

@@ -169,6 +169,97 @@ TEST(TraceIo, FirstEpochScoreRoundTrips) {
   EXPECT_DOUBLE_EQ(restored.records[0].first_epoch_score, 0.25);
 }
 
+TEST(TraceIo, V2TwentyFourColumnTraceRoundTrips) {
+  // Dedicated round-trip through the 24-column fallback: render a modern
+  // trace whose first_epoch_score equals the final score (what the fallback
+  // reconstructs), then strip the trailing first_epoch_score column from the
+  // header and every data row — producing the exact V2 format — and check
+  // that reading it back restores every remaining field.  Deriving the text
+  // from the current writer keeps this test in sync with the live format.
+  Trace original;
+  original.num_workers = 3;
+  original.makespan = 9.5;
+  original.crashed_attempts = 1;
+  original.resubmissions = 1;
+  original.retry_seconds = 0.125;
+  for (long i = 0; i < 3; ++i) {
+    EvalRecord r;
+    r.id = i;
+    r.arch = {static_cast<int>(i), 2, 5};
+    r.score = 0.25 + 0.125 * static_cast<double>(i);
+    r.first_epoch_score = r.score;  // single-epoch: early == final
+    r.parent_id = i - 1;
+    r.ckpt_key = "ck-" + std::to_string(i);
+    r.param_count = 100 + i;
+    r.tensors_transferred = static_cast<std::size_t>(i);
+    r.values_transferred = static_cast<std::size_t>(10 * i);
+    r.train_seconds = 1.5;
+    r.ckpt_read_cost = 0.01;
+    r.ckpt_write_cost = 0.02;
+    r.ckpt_bytes = 64;
+    r.ckpt_write_charged = 0.02;
+    r.ckpt_available_at = 2.0 + static_cast<double>(i);
+    r.virtual_start = static_cast<double>(i);
+    r.virtual_finish = 2.0 + static_cast<double>(i);
+    r.worker = static_cast<int>(i);
+    r.attempt = static_cast<int>(i % 2);
+    r.faults = i == 1 ? (kFaultStraggler | kFaultCkptRead) : 0u;
+    r.retries = static_cast<int>(i);
+    r.retry_seconds = 0.0625 * static_cast<double>(i);
+    r.transfer_fallback = i == 2;
+    original.records.push_back(r);
+  }
+
+  std::stringstream out;
+  write_trace_csv(out, original);
+  std::istringstream lines(out.str());
+  std::string text, line;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    if (!first) line.erase(line.rfind(','));  // drop the 25th column
+    first = false;
+    text += line + '\n';
+  }
+  ASSERT_NE(text.find(",transfer_fallback\n"), std::string::npos)
+      << "expected the stripped header to end at the V2 column set";
+
+  std::stringstream in(text);
+  const Trace restored = read_trace_csv(in);
+  EXPECT_EQ(restored.num_workers, 3);
+  EXPECT_DOUBLE_EQ(restored.makespan, 9.5);
+  EXPECT_EQ(restored.crashed_attempts, 1);
+  EXPECT_EQ(restored.resubmissions, 1);
+  EXPECT_DOUBLE_EQ(restored.retry_seconds, 0.125);
+  ASSERT_EQ(restored.records.size(), original.records.size());
+  for (std::size_t i = 0; i < original.records.size(); ++i) {
+    const auto& a = original.records[i];
+    const auto& b = restored.records[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+    EXPECT_DOUBLE_EQ(a.first_epoch_score, b.first_epoch_score);
+    EXPECT_EQ(a.parent_id, b.parent_id);
+    EXPECT_EQ(a.ckpt_key, b.ckpt_key);
+    EXPECT_EQ(a.param_count, b.param_count);
+    EXPECT_EQ(a.tensors_transferred, b.tensors_transferred);
+    EXPECT_EQ(a.values_transferred, b.values_transferred);
+    EXPECT_DOUBLE_EQ(a.train_seconds, b.train_seconds);
+    EXPECT_DOUBLE_EQ(a.ckpt_read_cost, b.ckpt_read_cost);
+    EXPECT_DOUBLE_EQ(a.ckpt_write_cost, b.ckpt_write_cost);
+    EXPECT_EQ(a.ckpt_bytes, b.ckpt_bytes);
+    EXPECT_DOUBLE_EQ(a.ckpt_write_charged, b.ckpt_write_charged);
+    EXPECT_DOUBLE_EQ(a.ckpt_available_at, b.ckpt_available_at);
+    EXPECT_DOUBLE_EQ(a.virtual_start, b.virtual_start);
+    EXPECT_DOUBLE_EQ(a.virtual_finish, b.virtual_finish);
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.attempt, b.attempt);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_DOUBLE_EQ(a.retry_seconds, b.retry_seconds);
+    EXPECT_EQ(a.transfer_fallback, b.transfer_fallback);
+  }
+}
+
 TEST(TraceIo, LegacyTraceDefaultsFirstEpochScoreToFinal) {
   // V2 header (24 columns, pre-first_epoch_score).
   const std::string text =
