@@ -1,0 +1,152 @@
+// Crash-recovery cost study (DESIGN.md "Durability contract").
+//
+// Two questions priced here:
+//   1. What does one durable journal append cost (fsync on / off)?  That is
+//      the entire per-evaluation hot-path tax of crash consistency.
+//   2. How does recovery time scale with the surviving journal prefix?  A
+//      full journaled run is executed once, then resumed from synthetic
+//      crash points at 0 / 25 / 50 / 75 / 100 % of the journal: replayed
+//      attempts skip training, so wall time should fall roughly linearly in
+//      the prefix length — the "selective re-execution" analogue of the
+//      paper's selective weight transfer, applied to fault recovery.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "exp/journal.hpp"
+
+namespace {
+
+using namespace swt;
+using namespace swt::bench;
+
+namespace fs = std::filesystem;
+
+fs::path bench_root() {
+  return fs::temp_directory_path() / "swtnas_bench_crash_recovery";
+}
+
+EvalRecord sample_record() {
+  EvalRecord rec;
+  rec.id = 1;
+  rec.arch = {4, 2, 7, 1, 3, 5};
+  rec.score = 0.921875;
+  rec.first_epoch_score = 0.75;
+  rec.parent_id = 0;
+  rec.ckpt_key = "ckpt-0";
+  rec.param_count = 45000;
+  rec.tensors_transferred = 6;
+  rec.values_transferred = 30000;
+  rec.train_seconds = 1.0;
+  rec.ckpt_bytes = 180000;
+  return rec;
+}
+
+void BM_JournalAppend(benchmark::State& state) {
+  const fs::path dir = bench_root() / "append_micro";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const bool fsync = state.range(0) != 0;
+  RunJournal journal(dir, fsync);
+  const EvalRecord rec = sample_record();
+  const Rng::State sel = Rng(7).state();
+  for (auto _ : state) journal.append(rec, sel);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              record_to_journal_line(rec, sel).size()));
+  state.SetLabel(fsync ? "fsync" : "no fsync");
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_JournalAppend)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
+
+void BM_JournalLineRoundTrip(benchmark::State& state) {
+  const std::string line = record_to_journal_line(sample_record(), Rng(7).state());
+  for (auto _ : state) {
+    auto parsed = journal_line_to_record(line);
+    benchmark::DoNotOptimize(parsed.first.score);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(line.size()));
+}
+BENCHMARK(BM_JournalLineRoundTrip)->Unit(benchmark::kMicrosecond);
+
+/// Copy `prefix_lines` journal records + the manifest + every checkpoint
+/// blob from a finished run directory into a fresh one — the on-disk state
+/// a crash at that point would have left behind (modulo checkpoints the
+/// crashed process had not written yet, which only makes recovery *cheaper*
+/// here, never changes its result).
+void stage_crash_point(const fs::path& src, const fs::path& dst,
+                       std::size_t prefix_lines) {
+  fs::remove_all(dst);
+  fs::create_directories(dst);
+  fs::copy_file(src / "manifest.json", dst / "manifest.json");
+  fs::copy(src / "ckpts", dst / "ckpts", fs::copy_options::recursive);
+
+  std::ifstream in(src / RunJournal::kFileName, std::ios::binary);
+  std::ofstream out(dst / RunJournal::kFileName, std::ios::binary);
+  std::string line;
+  for (std::size_t i = 0; i < prefix_lines && std::getline(in, line); ++i)
+    out << line << '\n';
+}
+
+void recovery_scaling_experiment() {
+  print_repro_note("kill-resume recovery time vs surviving journal prefix");
+  const long evals = bench_evals();
+  const AppConfig app = make_app(AppId::kMnist, 1);
+  const fs::path root = bench_root();
+  const fs::path full_dir = root / "full_run";
+  fs::remove_all(root);
+
+  // Replay is only defined under the deterministic-time contract.
+  NasRunConfig cfg = standard_run_config(TransferMode::kLCS, 1, evals);
+  cfg.cluster.fixed_train_seconds = 1.0;
+  cfg.run_dir = full_dir;
+
+  const WallTimer full_timer;
+  const NasRun full = run_nas(app, cfg);
+  const double full_s = full_timer.seconds();
+  const std::size_t records = full.journal_appended;
+
+  TableReport table({"journal prefix", "replayed", "retrained", "recovery wall s",
+                     "vs full run"});
+  table.add_row({"(fresh run)", "0", std::to_string(records),
+                 TableReport::cell(full_s, 3), "1.00x"});
+
+  for (const int pct : {0, 25, 50, 75, 100}) {
+    const std::size_t prefix = records * static_cast<std::size_t>(pct) / 100;
+    const fs::path dir = root / ("crash_" + std::to_string(pct));
+    stage_crash_point(full_dir, dir, prefix);
+
+    NasRunConfig resume_cfg = cfg;
+    resume_cfg.run_dir = dir;
+    resume_cfg.resume = true;
+    const WallTimer timer;
+    const NasRun resumed = run_nas(app, resume_cfg);
+    const double s = timer.seconds();
+
+    table.add_row({std::to_string(pct) + "% (" + std::to_string(prefix) + " rec)",
+                   std::to_string(resumed.journal_replayed),
+                   std::to_string(resumed.journal_appended), TableReport::cell(s, 3),
+                   TableReport::cell(full_s / std::max(s, 1e-9), 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nsearch: mnist/LCS, " << evals << " evals, 8 workers | journal records: "
+            << records << " | replayed attempts skip training entirely, so recovery "
+            << "cost ~ (1 - prefix) * full run\n";
+  fs::remove_all(root);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  swt::bench::BenchResultFile bench_json("bench_crash_recovery");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  recovery_scaling_experiment();
+  return 0;
+}

@@ -23,6 +23,7 @@
 
 #include "common/log.hpp"
 #include "exp/apps.hpp"
+#include "exp/journal.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
@@ -49,6 +50,24 @@ using namespace swt;
                "       [--log-level debug|info|warn|error|off]\n"
                "       [--mtbf S] [--straggler-rate P] [--straggler-mult M]\n"
                "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
+               "       [--run-dir DIR] [--resume] [--crash-after-evals N]\n"
+               "       [--no-journal-fsync]\n"
+               "\n"
+               "crash recovery (see DESIGN.md \"Durability contract\"):\n"
+               "  --run-dir DIR       durable run: checkpoints in DIR/ckpts, config\n"
+               "                      manifest + write-ahead journal in DIR, final\n"
+               "                      trace in DIR/trace.csv.  Survives SIGKILL.\n"
+               "  --resume            continue a killed run in --run-dir: journaled\n"
+               "                      evaluations skip training and the final trace is\n"
+               "                      byte-identical to an uninterrupted run.  Config\n"
+               "                      flags default to the manifest; changing one that\n"
+               "                      affects behaviour refuses to resume.\n"
+               "  --crash-after-evals N  deterministic crash injection: _exit(42) the\n"
+               "                      instant the (N+1)-th fresh evaluation would be\n"
+               "                      journaled (testing; pairs with --resume)\n"
+               "  --no-journal-fsync  skip the per-record journal fsync (faster, but a\n"
+               "                      power cut may cost re-training; kill-safe either\n"
+               "                      way)\n"
                "\n"
                "observability:\n"
                "  --events-out F      stream NDJSON lifecycle events to F (\"-\" = stderr);\n"
@@ -175,6 +194,39 @@ int main(int argc, char** argv) try {
   bool progress = false;
   CompressionKind compression = CompressionKind::kNone;
 
+  // --resume takes its configuration from the run directory's manifest, so
+  // the flags parsed below start from the manifest values; any explicitly
+  // passed flag that changes behaviour then shows up as a config-hash
+  // mismatch and run_nas refuses the resume instead of silently diverging.
+  std::string run_dir;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--run-dir" && i + 1 < argc) run_dir = argv[i + 1];
+    else if (arg == "--resume") resume = true;
+  }
+  if (resume) {
+    if (run_dir.empty()) {
+      std::cerr << "error: --resume requires --run-dir\n";
+      return 2;
+    }
+    const auto manifest = load_manifest(run_dir);
+    if (manifest.has_value()) {
+      const auto id = parse_app_id(manifest->app);
+      if (!id.has_value()) {
+        std::cerr << "error: manifest names unknown app '" << manifest->app << "'\n";
+        return 2;
+      }
+      app_id = *id;
+      cfg = manifest->cfg;
+      compression = cfg.compression;
+    }
+    // No manifest: the killed run died before anything became durable, so
+    // there is nothing to recover — the flags parsed below configure a
+    // fresh start (run_nas still refuses a manifest-less journal as
+    // corruption).  `--resume` is thereby idempotent over every kill point.
+  }
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -215,7 +267,15 @@ int main(int argc, char** argv) try {
     }
     else if (arg == "--recovery") cfg.cluster.faults.worker_recovery_s = std::stod(next());
     else if (arg == "--max-attempts") cfg.cluster.faults.max_attempts = std::stoi(next());
+    else if (arg == "--run-dir") cfg.run_dir = next();
+    else if (arg == "--resume") cfg.resume = true;
+    else if (arg == "--crash-after-evals") cfg.journal_crash_after = std::stol(next());
+    else if (arg == "--no-journal-fsync") cfg.journal_fsync = false;
     else usage(argv[0]);
+  }
+  if (cfg.journal_crash_after >= 0 && cfg.run_dir.empty()) {
+    std::cerr << "error: --crash-after-evals requires --run-dir\n";
+    return 2;
   }
 
   const AppConfig app = make_app(app_id, cfg.seed);
@@ -271,6 +331,14 @@ int main(int argc, char** argv) try {
             << run.store->total_bytes_written() / 1024 << " KiB written)\n";
   print_failure_summary(std::cout, run.trace);
 
+  if (!cfg.run_dir.empty()) {
+    std::cout << "journal             : " << run.journal_replayed << " replayed, "
+              << run.journal_appended << " trained"
+              << (run.journal_truncated_tail ? " (torn tail discarded)" : "") << "\n";
+    const std::string run_trace = (cfg.run_dir / "trace.csv").string();
+    write_trace_csv(run_trace, run.trace);
+    std::cout << "trace written to " << run_trace << "\n";
+  }
   if (!out_path.empty()) {
     write_trace_csv(out_path, run.trace);
     std::cout << "trace written to " << out_path << "\n";

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/fsio.hpp"
 #include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -44,6 +45,21 @@ CheckpointStore::CheckpointStore(Backend backend, std::filesystem::path dir,
   if (backend_ == Backend::kDisk) {
     if (dir_.empty()) throw std::invalid_argument("CheckpointStore: disk backend needs a dir");
     std::filesystem::create_directories(dir_);
+    // Reopening an existing directory (crash recovery): adopt every blob
+    // already on disk and clear staging debris from writers that died
+    // mid-put.  Thanks to the tmp+rename write protocol a present ".swtc"
+    // file is always a complete rename target; whether its *content* is
+    // intact is still verified by the CRC trailer at read time.
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (!entry.is_regular_file()) continue;
+      const std::filesystem::path& p = entry.path();
+      if (p.extension() == ".tmp") {
+        std::error_code ec;
+        std::filesystem::remove(p, ec);
+      } else if (p.extension() == ".swtc") {
+        disk_sizes_[p.stem().string()] = static_cast<std::size_t>(entry.file_size());
+      }
+    }
   }
 }
 
@@ -61,14 +77,28 @@ IoStats CheckpointStore::put(const std::string& key, const Checkpoint& ckpt) {
   if (backend_ == Backend::kMemory) {
     memory_[key] = std::move(bytes);
   } else {
-    std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("CheckpointStore: cannot open " + key + " for write");
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw std::runtime_error("CheckpointStore: short write for " + key);
+    // Staged through a tmp sibling and renamed into place: readers (and any
+    // process that dies mid-put, or two puts racing on the same key) see
+    // either the complete old blob or the complete new blob, never a torn
+    // file.  The fsync pair makes the blob durable before put() returns —
+    // the ordering the run journal relies on (a journaled attempt implies
+    // its checkpoint survived).
+    fsio::atomic_write_file(path_for(key), bytes.data(), bytes.size());
     disk_sizes_[key] = bytes.size();
   }
   return stats;
+}
+
+bool CheckpointStore::remove(const std::string& key) {
+  std::scoped_lock lock(mutex_);
+  if (backend_ == Backend::kMemory) return memory_.erase(key) > 0;
+  const bool known = disk_sizes_.erase(key) > 0;
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(path_for(key), ec);
+  // A leftover ".tmp" sibling (writer killed between staging and rename)
+  // must not survive the key it belongs to.
+  std::filesystem::remove(fsio::tmp_sibling(path_for(key)), ec);
+  return known || removed;
 }
 
 std::optional<std::vector<std::byte>> CheckpointStore::read_bytes(

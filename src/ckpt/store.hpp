@@ -53,7 +53,14 @@ class CheckpointStore {
                            CompressionKind compression = CompressionKind::kNone);
 
   /// Serialize and store under `key` (overwrites); returns modelled cost.
+  /// Disk puts are crash-consistent: staged to a tmp sibling, fsynced and
+  /// renamed into place, so concurrent or killed writers can never leave a
+  /// torn blob under the key.
   IoStats put(const std::string& key, const Checkpoint& ckpt);
+
+  /// Delete `key` (and any staging debris a killed writer left beside it).
+  /// Returns true when something was removed; unknown keys are a no-op.
+  bool remove(const std::string& key);
 
   /// Load and decode; throws std::out_of_range for unknown keys and
   /// std::runtime_error for corrupted payloads.

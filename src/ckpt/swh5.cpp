@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ckpt/wire.hpp"
+#include "common/fsio.hpp"
 
 namespace swt::swh5 {
 
@@ -193,11 +194,10 @@ Group deserialize(const std::vector<std::byte>& bytes) {
 
 void save(const std::filesystem::path& path, const Group& root) {
   const auto bytes = serialize(root);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("swh5: cannot open " + path.string() + " for write");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("swh5: short write to " + path.string());
+  // tmp + fsync + rename: a crash mid-save leaves either the previous file
+  // or nothing under `path`, never a torn stream (the CRC trailer would
+  // catch torn content, but atomicity also preserves the old version).
+  fsio::atomic_write_file(path, bytes.data(), bytes.size());
 }
 
 Group load(const std::filesystem::path& path) {

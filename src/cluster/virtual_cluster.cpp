@@ -252,8 +252,27 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
     int attempt;
     Proposal proposal;
     EvalRecord record;
+    // Journal support: the strategy-RNG state captured at selection time
+    // (invariant across eval_parallelism values, unlike any post-training
+    // instant) and whether `record` was satisfied from the journal.
+    Rng::State sel_state;
+    bool cached = false;
   };
   std::vector<Dispatch> wavefront;
+
+  // Pair a selected attempt with the journal: a hit fills `rec` from a
+  // previous (killed) process and skips training entirely; a miss trains
+  // for real and durably journals the evaluator output.  Either way the
+  // scheduler bookkeeping downstream (finish_dispatch) is identical, which
+  // is what makes the resumed trace byte-identical.  Returns true on a hit.
+  const auto journal_fill = [&](long id, int attempt, const ArchSeq& arch,
+                                EvalRecord& rec) {
+    if (cfg.journal == nullptr) return false;
+    const EvalRecord* hit = cfg.journal->lookup(id, attempt, arch, rng);
+    if (hit == nullptr) return false;
+    rec = *hit;
+    return true;
+  };
 
   while (finished < n_evals) {
     // Hand work to every worker that is idle at the current virtual time —
@@ -283,18 +302,27 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
                  {{"attempt", std::to_string(attempt)}});
       if (eval_pool == nullptr) {
         // Serial substrate: train inline, exactly the historical path.
-        EvalRecord rec = evaluator.evaluate(id, proposal, attempt, faults);
+        const Rng::State sel_state = rng.state();
+        EvalRecord rec;
+        if (!journal_fill(id, attempt, proposal.arch, rec)) {
+          rec = evaluator.evaluate(id, proposal, attempt, faults);
+          if (cfg.journal != nullptr) cfg.journal->append(rec, sel_state);
+        }
         finish_dispatch(w, id, std::move(rec), std::move(proposal));
       } else {
-        wavefront.push_back(Dispatch{w, id, attempt, std::move(proposal), {}});
+        Dispatch d{w, id, attempt, std::move(proposal), {}, rng.state()};
+        d.cached = journal_fill(id, attempt, d.proposal.arch, d.record);
+        wavefront.push_back(std::move(d));
       }
     }
     if (eval_pool != nullptr && !wavefront.empty()) {
       // Train the whole wavefront concurrently.  Each task only touches its
       // own Dispatch slot plus thread-safe shared services (checkpoint
       // store, metrics, event bus, logger); the vector is fully built
-      // before the first submit, so the slots are address-stable.
+      // before the first submit, so the slots are address-stable.  Journal
+      // hits already carry their record and never reach the pool.
       for (Dispatch& d : wavefront) {
+        if (d.cached) continue;
         eval_pool->submit([&evaluator, &d, faults] {
           const kernels::ScopedSerialKernels serial_kernels;
           d.record = evaluator.evaluate(d.id, d.proposal, d.attempt, faults);
@@ -302,10 +330,13 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
       }
       eval_pool->wait_idle();  // rethrows the first evaluation failure, if any
       // Deliver in worker order — the same order the serial path interleaves
-      // bookkeeping — so virtual timestamps, float sums and the completion
-      // heap come out bit-identical.
-      for (Dispatch& d : wavefront)
+      // bookkeeping — so virtual timestamps, float sums, the completion
+      // heap *and the journal byte stream* come out bit-identical.
+      for (Dispatch& d : wavefront) {
+        if (!d.cached && cfg.journal != nullptr)
+          cfg.journal->append(d.record, d.sel_state);
         finish_dispatch(d.worker, d.id, std::move(d.record), std::move(d.proposal));
+      }
       wavefront.clear();
     }
 

@@ -20,6 +20,39 @@
 
 namespace swt {
 
+/// Write-ahead journal hook for crash recovery (implemented by
+/// exp/journal.hpp's RunJournal; abstract here so the scheduler does not
+/// depend on the persistence layer).  The scheduler calls `lookup` at
+/// selection time — the instant a proposal is paired with an idle worker,
+/// a point whose strategy-RNG state is identical in the serial and
+/// wavefront execution paths — and `append` once a fresh attempt finished
+/// training, always on the scheduler thread in worker order.  A hit means
+/// the attempt was already trained by a previous (killed) process: its
+/// evaluator-output record is reused verbatim and training is skipped,
+/// which is what makes a resumed run byte-identical to an uninterrupted
+/// one.
+class EvalJournal {
+ public:
+  virtual ~EvalJournal() = default;
+
+  /// The journaled evaluator-output record for (id, attempt), or nullptr
+  /// when the attempt was never journaled.  Implementations should verify
+  /// `arch` and `strategy_rng` against the journaled values and throw
+  /// std::runtime_error on mismatch — a divergent replay means the journal
+  /// belongs to a different configuration and continuing would corrupt the
+  /// trace silently.
+  [[nodiscard]] virtual const EvalRecord* lookup(long id, int attempt,
+                                                 const ArchSeq& arch,
+                                                 const Rng& strategy_rng) = 0;
+
+  /// Durably persist a freshly trained attempt.  `selection_state` is the
+  /// strategy-RNG state captured when the attempt was selected (used as the
+  /// replay cross-check in lookup).  Called in deterministic scheduler
+  /// order, so the journal byte stream is identical for every
+  /// eval_parallelism value.
+  virtual void append(const EvalRecord& rec, const Rng::State& selection_state) = 0;
+};
+
 struct ClusterConfig {
   int num_workers = 8;
   /// Real threads used to train the evaluations dispatched at one virtual
@@ -52,6 +85,10 @@ struct ClusterConfig {
   /// Deterministic fault injection (crashes, stragglers, checkpoint I/O
   /// failures); inert by default, so fault-free traces are unchanged.
   FaultConfig faults = {};
+  /// Optional write-ahead journal (non-owning).  When set, every freshly
+  /// trained attempt is durably appended and previously journaled attempts
+  /// skip training on replay.  Null = no journaling (traces unchanged).
+  EvalJournal* journal = nullptr;
 };
 
 struct Trace {

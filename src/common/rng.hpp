@@ -45,6 +45,19 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// Complete serializable generator state: the 256-bit xoshiro state plus
+  /// the Marsaglia-polar pair cache.  Capturing and restoring it makes the
+  /// continued stream bit-identical to an unbroken one — the property the
+  /// crash-recovery journal relies on (exp/journal.hpp carries one State per
+  /// record, hex-encoded via rng_state_to_hex).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_gauss = 0.0;
+    bool has_gauss = false;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
 
   void reseed(std::uint64_t seed) noexcept {
@@ -130,6 +143,15 @@ class Rng {
 
   /// Derive an independent child generator (for per-task streams).
   [[nodiscard]] Rng split() noexcept { return Rng(mix64((*this)(), (*this)())); }
+
+  [[nodiscard]] State state() const noexcept {
+    return State{state_, cached_gauss_, has_gauss_};
+  }
+  void set_state(const State& st) noexcept {
+    state_ = st.s;
+    cached_gauss_ = st.cached_gauss;
+    has_gauss_ = st.has_gauss;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -1,6 +1,7 @@
 #include "exp/apps.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace swt {
@@ -13,6 +14,17 @@ const char* to_string(AppId id) noexcept {
     case AppId::kUno: return "Uno";
   }
   return "?";
+}
+
+std::optional<AppId> parse_app_id(std::string_view name) noexcept {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "cifar" || lower == "cifar-10") return AppId::kCifar;
+  if (lower == "mnist") return AppId::kMnist;
+  if (lower == "nt3") return AppId::kNt3;
+  if (lower == "uno") return AppId::kUno;
+  return std::nullopt;
 }
 
 std::vector<AppId> all_apps() {

@@ -4,7 +4,9 @@
 // per-app early-stopping thresholds of Section VIII-B.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "data/generators.hpp"
@@ -16,6 +18,9 @@ namespace swt {
 enum class AppId { kCifar, kMnist, kNt3, kUno };
 
 [[nodiscard]] const char* to_string(AppId id) noexcept;
+/// Inverse of to_string; also accepts the CLI spellings ("cifar", "mnist",
+/// "nt3", "uno", case-insensitive).  Empty when the name is unknown.
+[[nodiscard]] std::optional<AppId> parse_app_id(std::string_view name) noexcept;
 [[nodiscard]] std::vector<AppId> all_apps();
 
 struct AppConfig {

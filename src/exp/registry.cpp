@@ -10,6 +10,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/fsio.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "obs/json.hpp"
@@ -226,17 +228,15 @@ RunRecord parse_run_record(std::string_view json) {
 
 void append_run_record(const std::string& dir, const RunRecord& rec) {
   std::filesystem::create_directories(dir);
-  std::ofstream out(registry_file(dir), std::ios::app);
-  if (!out)
-    throw std::runtime_error("append_run_record: cannot open " +
-                             registry_file(dir).string());
-  out << run_record_to_json(rec) << '\n';
-  if (!out)
-    throw std::runtime_error("append_run_record: write failed for " +
-                             registry_file(dir).string());
+  // One O_APPEND write(2) plus an fsync per record: concurrent runs cannot
+  // interleave bytes inside a line, and a kill or power cut can tear at
+  // most the final record — which read_registry knows to skip.
+  fsio::DurableAppender appender(registry_file(dir), /*sync_each_append=*/true);
+  appender.append(run_record_to_json(rec) + '\n');
 }
 
-std::vector<RunRecord> read_registry(const std::string& dir) {
+std::vector<RunRecord> read_registry(const std::string& dir, std::size_t* warnings) {
+  if (warnings != nullptr) *warnings = 0;
   std::vector<RunRecord> out;
   std::ifstream in(registry_file(dir));
   if (!in) return out;  // no registry yet
@@ -248,8 +248,22 @@ std::vector<RunRecord> read_registry(const std::string& dir) {
     try {
       out.push_back(parse_run_record(line));
     } catch (const std::exception& e) {
-      throw std::runtime_error("read_registry: " + registry_file(dir).string() + ":" +
-                               std::to_string(line_no) + ": " + e.what());
+      // A torn *final* line is the expected leftover of an appender killed
+      // mid-record; skip it with a warning.  Damage followed by intact
+      // records is real corruption and stays loud.
+      const bool has_more = [&in] {
+        std::string rest;
+        while (std::getline(in, rest))
+          if (!rest.empty()) return true;
+        return false;
+      }();
+      if (has_more || warnings == nullptr)
+        throw std::runtime_error("read_registry: " + registry_file(dir).string() + ":" +
+                                 std::to_string(line_no) + ": " + e.what());
+      ++*warnings;
+      log_warn("read_registry: skipping torn final record at ",
+               registry_file(dir).string(), ":", line_no, " (", e.what(), ")");
+      break;
     }
   }
   return out;

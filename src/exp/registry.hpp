@@ -69,13 +69,19 @@ struct RunRecord {
 [[nodiscard]] RunRecord parse_run_record(std::string_view json);
 
 /// Append `rec` to `<dir>/registry.ndjson`, creating the directory on first
-/// use.  Append-only: existing history is never rewritten.
+/// use.  Append-only: existing history is never rewritten.  Each record is
+/// one O_APPEND write followed by an fsync, so concurrent appenders cannot
+/// interleave and a killed appender can tear at most the final line.
 void append_run_record(const std::string& dir, const RunRecord& rec);
 
 /// All records in `<dir>/registry.ndjson`, oldest first; empty when the
-/// registry does not exist yet.  Malformed lines throw (a corrupt registry
-/// should be loud, not silently shortened).
-[[nodiscard]] std::vector<RunRecord> read_registry(const std::string& dir);
+/// registry does not exist yet.  A malformed *final* line (the torn record
+/// of a killed appender) is skipped with a warning counted in `*warnings`
+/// when that pointer is given; with a null `warnings`, and always for
+/// malformed lines that have intact records after them, the reader throws
+/// (a corrupt registry should be loud, not silently shortened).
+[[nodiscard]] std::vector<RunRecord> read_registry(const std::string& dir,
+                                                   std::size_t* warnings = nullptr);
 
 /// Tolerances for compare_records; negative slack disables that check.
 struct RegressionThresholds {

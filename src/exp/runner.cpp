@@ -4,16 +4,65 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/log.hpp"
 #include "common/stats.hpp"
+#include "exp/journal.hpp"
+#include "exp/registry.hpp"
 
 namespace swt {
 
 NasRun run_nas(const AppConfig& app, const NasRunConfig& cfg) {
   NasRun run;
   run.mode = cfg.mode;
-  run.store = std::make_unique<CheckpointStore>(CheckpointStore::Backend::kMemory,
-                                                std::filesystem::path{}, PfsCostModel{},
-                                                cfg.compression);
+
+  std::unique_ptr<RunJournal> journal;
+  if (!cfg.run_dir.empty()) {
+    // Durable run: pin the configuration in the manifest before any other
+    // write, back checkpoints with the crash-consistent disk store, and
+    // journal every trained attempt.
+    const std::optional<RunManifest> existing = load_manifest(cfg.run_dir);
+    if (cfg.resume && !existing.has_value()) {
+      // A run killed before its manifest became durable left nothing to
+      // recover; `resume` is idempotent over that window and starts fresh.
+      // A journal *without* a manifest, though, is real corruption: its
+      // records cannot be validated against any configuration.
+      if (std::filesystem::exists(cfg.run_dir / RunJournal::kFileName))
+        throw std::runtime_error("run_nas: cannot resume " + cfg.run_dir.string() +
+                                 ": journal present but manifest missing — the "
+                                 "directory is corrupt");
+      log_info("journal: no manifest in ", cfg.run_dir.string(),
+               "; nothing durable to recover, starting fresh");
+      write_manifest(cfg.run_dir, make_manifest(app.name, cfg));
+    } else if (cfg.resume) {
+      const std::string want = config_hash(app.name, cfg);
+      if (existing->config_hash != want)
+        throw std::runtime_error(
+            "run_nas: refusing to resume " + cfg.run_dir.string() +
+            ": configuration mismatch (manifest config hash " + existing->config_hash +
+            ", requested " + want +
+            ") — replaying a journal under a different configuration would "
+            "silently diverge");
+    } else {
+      if (existing.has_value() ||
+          std::filesystem::exists(cfg.run_dir / RunJournal::kFileName))
+        throw std::runtime_error("run_nas: " + cfg.run_dir.string() +
+                                 " already holds a journaled run; resume it or use "
+                                 "a fresh directory");
+      write_manifest(cfg.run_dir, make_manifest(app.name, cfg));
+    }
+    run.store = std::make_unique<CheckpointStore>(CheckpointStore::Backend::kDisk,
+                                                  cfg.run_dir / "ckpts", PfsCostModel{},
+                                                  cfg.compression);
+    journal = std::make_unique<RunJournal>(cfg.run_dir, cfg.journal_fsync);
+    if (cfg.journal_crash_after >= 0) journal->set_crash_after(cfg.journal_crash_after);
+    if (cfg.resume && journal->loaded() > 0)
+      log_info("journal: resuming ", cfg.run_dir.string(), " with ", journal->loaded(),
+               " journaled attempts");
+  } else {
+    run.store = std::make_unique<CheckpointStore>(CheckpointStore::Backend::kMemory,
+                                                  std::filesystem::path{}, PfsCostModel{},
+                                                  cfg.compression);
+  }
 
   Evaluator::Config eval_cfg;
   eval_cfg.mode = cfg.mode;
@@ -33,7 +82,13 @@ NasRun run_nas(const AppConfig& app, const NasRunConfig& cfg) {
   cluster.time_scale = cfg.time_scale > 0.0 ? cfg.time_scale : app.time_scale;
   if (cluster.faults.active() && cluster.faults.seed == 0)
     cluster.faults.seed = mix64(cfg.seed, 0xFA017);
+  cluster.journal = journal.get();
   run.trace = run_search(evaluator, strategy, cfg.n_evals, cluster, rng);
+  if (journal != nullptr) {
+    run.journal_replayed = journal->replayed();
+    run.journal_appended = journal->appended();
+    run.journal_truncated_tail = journal->truncated_tail();
+  }
   return run;
 }
 

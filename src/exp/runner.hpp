@@ -23,6 +23,26 @@ struct NasRunConfig {
   /// Estimation epochs override (0 = the app's estimation_epochs).
   int estimation_epochs = 0;
   RegularizedEvolution::Config evolution = {};
+
+  // Crash-consistent run directory (DESIGN.md "Durability contract").
+  // None of these knobs changes search behaviour, so they are deliberately
+  // outside the registry config hash: a journaled run and a plain run of
+  // the same configuration produce byte-identical traces.
+  /// When non-empty, the run is durable: checkpoints live on disk under
+  /// `<run_dir>/ckpts`, a manifest pins the configuration at start, and
+  /// every trained attempt is journaled (write-ahead, fsynced).  Empty =
+  /// the historical in-memory run.
+  std::filesystem::path run_dir;
+  /// Resume a previous (killed) run in `run_dir`: the configuration must
+  /// hash-match the manifest, journaled attempts skip training, and the
+  /// final trace is byte-identical to an uninterrupted run.
+  bool resume = false;
+  /// fsync the journal after each record (default).  Off trades power-loss
+  /// durability of trailing records for speed; never affects correctness.
+  bool journal_fsync = true;
+  /// Crash-injection hook for tests: `_exit` the instant the (n+1)-th fresh
+  /// record would be journaled.  Negative = never.
+  long journal_crash_after = -1;
 };
 
 /// A completed NAS run: the trace plus the checkpoint store (kept alive so
@@ -31,6 +51,11 @@ struct NasRun {
   Trace trace;
   std::unique_ptr<CheckpointStore> store;
   TransferMode mode = TransferMode::kNone;
+
+  // Journal accounting (all zero for non-journaled runs):
+  std::size_t journal_replayed = 0;   ///< attempts restored without retraining
+  std::size_t journal_appended = 0;   ///< attempts trained and journaled
+  bool journal_truncated_tail = false;  ///< a torn final record was discarded
 };
 
 /// One NAS run of `cfg.n_evals` candidates with regularized evolution.

@@ -174,7 +174,8 @@ void write_trace_csv(const std::string& path, const Trace& trace) {
   if (!out) throw std::runtime_error("write_trace_csv: write failed for " + path);
 }
 
-Trace read_trace_csv(std::istream& is) {
+Trace read_trace_csv(std::istream& is, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
   Trace trace;
   std::string line;
   if (!std::getline(is, line) || !line.starts_with("# swtnas trace"))
@@ -211,52 +212,64 @@ Trace read_trace_csv(std::istream& is) {
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const auto cells = split_csv_line(line);
-    if (cells.size() != want)
-      throw std::runtime_error("read_trace_csv: line " + std::to_string(line_no) +
-                               ": expected " + std::to_string(want) + " columns, got " +
-                               std::to_string(cells.size()));
-    RowReader row(cells, line_no);
-    EvalRecord r;
-    r.id = row.next_long("id");
-    r.arch = decode_arch(row.next_raw("arch"), row);
-    r.score = row.next_double("score");
-    r.parent_id = row.next_long("parent_id");
-    r.ckpt_key = row.next_raw("ckpt_key");
-    r.param_count = row.next_i64("param_count");
-    r.tensors_transferred = row.next_u64("tensors_transferred");
-    r.values_transferred = row.next_u64("values_transferred");
-    r.train_seconds = row.next_double("train_seconds");
-    r.transfer_seconds = row.next_double("transfer_seconds");
-    r.ckpt_read_cost = row.next_double("ckpt_read_cost");
-    r.ckpt_write_cost = row.next_double("ckpt_write_cost");
-    r.ckpt_bytes = row.next_u64("ckpt_bytes");
-    r.ckpt_write_charged = row.next_double("ckpt_write_charged");
-    r.ckpt_read_wait = row.next_double("ckpt_read_wait");
-    r.ckpt_available_at = row.next_double("ckpt_available_at");
-    r.virtual_start = row.next_double("virtual_start");
-    r.virtual_finish = row.next_double("virtual_finish");
-    r.worker = row.next_int("worker");
-    if (want >= kColumnsV2) {
-      r.attempt = row.next_int("attempt");
-      r.faults = row.next_unsigned("faults");
-      r.retries = row.next_int("retries");
-      r.retry_seconds = row.next_double("retry_seconds");
-      r.transfer_fallback = row.next_raw("transfer_fallback") != "0";
+    try {
+      const auto cells = split_csv_line(line);
+      if (cells.size() != want)
+        throw std::runtime_error("read_trace_csv: line " + std::to_string(line_no) +
+                                 ": expected " + std::to_string(want) + " columns, got " +
+                                 std::to_string(cells.size()));
+      RowReader row(cells, line_no);
+      EvalRecord r;
+      r.id = row.next_long("id");
+      r.arch = decode_arch(row.next_raw("arch"), row);
+      r.score = row.next_double("score");
+      r.parent_id = row.next_long("parent_id");
+      r.ckpt_key = row.next_raw("ckpt_key");
+      r.param_count = row.next_i64("param_count");
+      r.tensors_transferred = row.next_u64("tensors_transferred");
+      r.values_transferred = row.next_u64("values_transferred");
+      r.train_seconds = row.next_double("train_seconds");
+      r.transfer_seconds = row.next_double("transfer_seconds");
+      r.ckpt_read_cost = row.next_double("ckpt_read_cost");
+      r.ckpt_write_cost = row.next_double("ckpt_write_cost");
+      r.ckpt_bytes = row.next_u64("ckpt_bytes");
+      r.ckpt_write_charged = row.next_double("ckpt_write_charged");
+      r.ckpt_read_wait = row.next_double("ckpt_read_wait");
+      r.ckpt_available_at = row.next_double("ckpt_available_at");
+      r.virtual_start = row.next_double("virtual_start");
+      r.virtual_finish = row.next_double("virtual_finish");
+      r.worker = row.next_int("worker");
+      if (want >= kColumnsV2) {
+        r.attempt = row.next_int("attempt");
+        r.faults = row.next_unsigned("faults");
+        r.retries = row.next_int("retries");
+        r.retry_seconds = row.next_double("retry_seconds");
+        r.transfer_fallback = row.next_raw("transfer_fallback") != "0";
+      }
+      // Older formats carry no first-epoch score; the final score is the
+      // correct degenerate value (single-epoch estimation has them equal).
+      r.first_epoch_score =
+          want == kColumns ? row.next_double("first_epoch_score") : r.score;
+      trace.records.push_back(std::move(r));
+    } catch (const std::exception&) {
+      if (truncated == nullptr) throw;
+      // Tolerant mode: only a damaged *final* row may be dropped (the
+      // half-written artifact of a killed writer).  Anything readable after
+      // this row means the damage is interior — keep the diagnostics loud.
+      std::string rest;
+      while (std::getline(is, rest))
+        if (!rest.empty()) throw;
+      *truncated = true;
+      break;
     }
-    // Older formats carry no first-epoch score; the final score is the
-    // correct degenerate value (single-epoch estimation has them equal).
-    r.first_epoch_score =
-        want == kColumns ? row.next_double("first_epoch_score") : r.score;
-    trace.records.push_back(std::move(r));
   }
   return trace;
 }
 
-Trace read_trace_csv(const std::string& path) {
+Trace read_trace_csv(const std::string& path, bool* truncated) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_trace_csv: cannot open " + path);
-  return read_trace_csv(in);
+  return read_trace_csv(in, truncated);
 }
 
 }  // namespace swt

@@ -20,7 +20,14 @@ void write_trace_csv(const std::string& path, const Trace& trace);
 /// Parse a trace written by write_trace_csv.  Throws std::runtime_error on
 /// malformed input.  Round-trips every EvalRecord field except none (all
 /// fields are serialized).
-[[nodiscard]] Trace read_trace_csv(std::istream& is);
-[[nodiscard]] Trace read_trace_csv(const std::string& path);
+///
+/// `truncated` (optional) makes the reader crash-tolerant: a damaged or
+/// half-written *final* row — the artifact of a process killed mid-write —
+/// is dropped, the clean record prefix is returned and `*truncated` is set.
+/// A malformed row with intact rows after it is real corruption and still
+/// throws with full line/column diagnostics, as does every error when
+/// `truncated` is null (the historical strict behaviour).
+[[nodiscard]] Trace read_trace_csv(std::istream& is, bool* truncated = nullptr);
+[[nodiscard]] Trace read_trace_csv(const std::string& path, bool* truncated = nullptr);
 
 }  // namespace swt

@@ -224,5 +224,81 @@ TEST_P(CorruptionSweep, AnySingleByteFlipIsCaught) {
 INSTANTIATE_TEST_SUITE_P(Positions, CorruptionSweep,
                          ::testing::Values(0, 1, 4, 9, 17, 33, 64, 101, 1000));
 
+// Crash-consistent disk-store behaviour (DESIGN.md "Durability contract").
+
+TEST(Store, DiskReopenAdoptsExistingBlobs) {
+  // A resumed run re-creates the store over the same directory; blobs the
+  // crashed process persisted must be visible without re-putting them.
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_reopen";
+  std::filesystem::remove_all(dir);
+  const Checkpoint ckpt = sample_checkpoint();
+  {
+    CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+    store.put("survivor-1", ckpt);
+    store.put("survivor-2", ckpt);
+  }
+  CheckpointStore reopened(CheckpointStore::Backend::kDisk, dir);
+  EXPECT_EQ(reopened.count(), 2u);
+  EXPECT_TRUE(reopened.contains("survivor-1"));
+  EXPECT_EQ(reopened.get("survivor-2").first.arch, ckpt.arch);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, DiskReopenSweepsTmpDebris) {
+  // A writer killed mid-put leaves only the ".tmp" staging sibling; reopen
+  // deletes it and does not surface a phantom key.
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_debris";
+  std::filesystem::remove_all(dir);
+  {
+    CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+    store.put("good", sample_checkpoint());
+  }
+  {
+    std::ofstream out(dir / "torn.swtc.tmp", std::ios::binary);
+    out << "half-written blob";
+  }
+  CheckpointStore reopened(CheckpointStore::Backend::kDisk, dir);
+  EXPECT_EQ(reopened.count(), 1u);
+  EXPECT_FALSE(reopened.contains("torn"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "torn.swtc.tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, DiskPutLeavesNoStagingFileBehind) {
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_atomic";
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+  store.put("k", sample_checkpoint());
+  store.put("k", sample_checkpoint());  // overwrite goes through the same path
+  EXPECT_TRUE(std::filesystem::exists(dir / "k.swtc"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "k.swtc.tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, RemoveDeletesBlobAndToleratesDebris) {
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_remove";
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+  store.put("k", sample_checkpoint());
+  {
+    std::ofstream out(dir / "k.swtc.tmp", std::ios::binary);
+    out << "leftover";
+  }
+  EXPECT_TRUE(store.remove("k"));
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "k.swtc"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "k.swtc.tmp"));
+  EXPECT_FALSE(store.remove("k"));  // second remove: nothing left
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, MemoryRemoveRoundTrip) {
+  CheckpointStore store;
+  store.put("k", sample_checkpoint());
+  EXPECT_TRUE(store.remove("k"));
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_FALSE(store.remove("absent"));
+}
+
 }  // namespace
 }  // namespace swt

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "exp/apps.hpp"
 
@@ -197,6 +198,60 @@ TEST(Registry, ImprovementsNeverFlag) {
   cand.lost_evaluations = 0;
   cand.evals_completed = base.evals_completed + 5;
   EXPECT_TRUE(compare_records(base, cand, RegressionThresholds{}).empty());
+}
+
+TEST(Registry, TornFinalLineIsSkippedWithWarning) {
+  // A killed appender can tear at most the final line (one O_APPEND write
+  // per record); the tolerant reader skips it, counts a warning, and keeps
+  // every intact record.
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "swtnas_registry_torn").string();
+  std::filesystem::remove_all(dir);
+  append_run_record(dir, sample_record());
+  RunRecord second = sample_record();
+  second.run_id = "MNIST-LCS-s8-456";
+  append_run_record(dir, second);
+  {
+    std::ofstream out(std::filesystem::path(dir) / "registry.ndjson",
+                      std::ios::app | std::ios::binary);
+    out << "{\"run_id\":\"MNIST-LCS-s9-789\",\"time";  // torn mid-record
+  }
+
+  std::size_t warnings = 0;
+  const auto records = read_registry(dir, &warnings);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].run_id, second.run_id);
+  EXPECT_EQ(warnings, 1u);
+
+  // Without the warnings pointer the historical strict read still throws.
+  EXPECT_THROW((void)read_registry(dir), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Registry, InteriorCorruptionThrowsEvenWhenTolerant) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "swtnas_registry_corrupt").string();
+  std::filesystem::remove_all(dir);
+  {
+    std::filesystem::create_directories(dir);
+    std::ofstream out(std::filesystem::path(dir) / "registry.ndjson",
+                      std::ios::binary);
+    out << "not json at all\n" << run_record_to_json(sample_record()) << "\n";
+  }
+  std::size_t warnings = 0;
+  EXPECT_THROW((void)read_registry(dir, &warnings), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Registry, IntactRegistryReportsZeroWarnings) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "swtnas_registry_clean").string();
+  std::filesystem::remove_all(dir);
+  append_run_record(dir, sample_record());
+  std::size_t warnings = 7;
+  EXPECT_EQ(read_registry(dir, &warnings).size(), 1u);
+  EXPECT_EQ(warnings, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

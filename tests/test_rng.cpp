@@ -161,5 +161,48 @@ TEST_P(RngRangeSweep, UniformIndexStaysBelowBound) {
 INSTANTIATE_TEST_SUITE_P(Bounds, RngRangeSweep,
                          ::testing::Values(1, 2, 3, 5, 7, 16, 100, 1000, 1u << 20));
 
+// State round-trips — the contract the crash-recovery journal depends on
+// (exp/journal.hpp stores one Rng::State per record and replays from it).
+
+TEST(RngState, RestoredGeneratorContinuesIdentically) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL, 0xffffffffffffffffULL}) {
+    Rng a(seed);
+    for (int warm = 0; warm < 17; ++warm) (void)a.uniform();
+    const Rng::State st = a.state();
+    Rng b(999);  // deliberately different history
+    b.set_state(st);
+    for (int i = 0; i < 200; ++i) ASSERT_EQ(a(), b()) << "seed=" << seed;
+  }
+}
+
+TEST(RngState, CapturesTheGaussianCache) {
+  // gaussian() generates pairs and caches one; a snapshot between the two
+  // halves must restore the cached value, not just the xoshiro words.
+  Rng a(5);
+  (void)a.gaussian();
+  const Rng::State st = a.state();
+  EXPECT_TRUE(st.has_gauss);
+  Rng b(123);
+  b.set_state(st);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.gaussian(), b.gaussian());
+}
+
+TEST(RngState, SnapshotDoesNotPerturbTheStream) {
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 50; ++i) {
+    (void)a.state();
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngState, EqualityDetectsDrift) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(a.state(), b.state());
+  (void)b.uniform();
+  EXPECT_FALSE(a.state() == b.state());
+}
+
 }  // namespace
 }  // namespace swt

@@ -377,5 +377,61 @@ TEST(TraceIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(TraceIo, TruncatedFinalRowYieldsCleanPrefix) {
+  // A process killed mid-write tears the final row; the crash-tolerant
+  // reader drops it, returns the intact prefix and raises the flag.
+  const Trace original = sample_trace();
+  std::ostringstream out;
+  write_trace_csv(out, original);
+  std::string text = out.str();
+  ASSERT_EQ(text.back(), '\n');
+  text.resize(text.size() - 25);  // rip bytes off the final row
+
+  std::istringstream in(text);
+  bool truncated = false;
+  const Trace restored = read_trace_csv(in, &truncated);
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(restored.records.size(), original.records.size() - 1);
+  for (std::size_t i = 0; i < restored.records.size(); ++i)
+    EXPECT_EQ(restored.records[i].id, original.records[i].id);
+}
+
+TEST(TraceIo, IntactTraceDoesNotRaiseTruncationFlag) {
+  const Trace original = sample_trace();
+  std::ostringstream out;
+  write_trace_csv(out, original);
+  std::istringstream in(out.str());
+  bool truncated = true;
+  const Trace restored = read_trace_csv(in, &truncated);
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(restored.records.size(), original.records.size());
+}
+
+TEST(TraceIo, TruncationToleranceStillThrowsWithoutTheFlag) {
+  // Null `truncated` keeps the historical strict behaviour.
+  const Trace original = sample_trace();
+  std::ostringstream out;
+  write_trace_csv(out, original);
+  std::string text = out.str();
+  text.resize(text.size() - 25);
+  std::istringstream in(text);
+  EXPECT_THROW((void)read_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, InteriorCorruptionThrowsEvenWithTheFlag) {
+  // A malformed row with intact rows after it is real corruption, not a
+  // crash artifact — loud, never silently shortened.
+  const Trace original = sample_trace();
+  std::ostringstream out;
+  write_trace_csv(out, original);
+  std::string text = out.str();
+  const auto second_last = text.rfind('\n', text.rfind('\n', text.size() - 2) - 1);
+  ASSERT_NE(second_last, std::string::npos);
+  text.replace(second_last + 1, 5, "#####");
+  std::istringstream in(text);
+  bool truncated = false;
+  EXPECT_THROW((void)read_trace_csv(in, &truncated), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace swt
