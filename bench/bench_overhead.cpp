@@ -9,15 +9,21 @@
 // share.  Target: <= 5% on the default search configuration.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "common/timer.hpp"
 #include "exp/journal.hpp"
 #include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 #include "obs/span_tracer.hpp"
+#include "serve/obs_server.hpp"
 
 namespace {
 
@@ -220,6 +226,82 @@ void overhead_experiment() {
                     : "WARN: overhead above the 5% target on this host/run.\n");
 }
 
+/// The live telemetry plane's tax: the identical instrumented search with
+/// the background sampler ticking fast (50 ms vs the 250 ms default) plus
+/// an in-process scrape loop hammering every endpoint through
+/// ObservabilityServer::handle() — deliberately harsher than a real
+/// Prometheus scraping once per 15 s over TCP.  The <= 5% target applies
+/// against the instrumented-but-unserved run (the plane rides on top of
+/// instruments the previous experiment already priced).
+void telemetry_plane_experiment() {
+  print_repro_note("live telemetry plane overhead (sampler + HTTP handlers)");
+  const int repeats = std::max(2, bench_seeds());
+  const long evals = bench_evals();
+  const AppConfig app = make_app(AppId::kMnist, 1);
+
+  set_metrics_enabled(true);
+  EventBus& bus = EventBus::global();
+  bus.set_enabled(true);
+  std::ostringstream event_sink;
+  bus.set_stream(&event_sink);
+  (void)run_once(app, evals);  // warm-up
+
+  double off_s = 1e300, on_s = 1e300;
+  std::uint64_t ticks = 0, scrapes = 0;
+  for (int r = 0; r < repeats; ++r) {
+    event_sink.str({});
+    off_s = std::min(off_s, run_once(app, evals));
+
+    TimeSeriesStore store;
+    HealthWatchdog watchdog;
+    watchdog.attach(bus);
+    Sampler::Config sampler_cfg;
+    sampler_cfg.interval = std::chrono::milliseconds(50);
+    Sampler sampler(store, metrics(), sampler_cfg);
+    sampler.set_on_tick([&watchdog] { watchdog.poll(); });
+    sampler.start();
+    ObservabilityServer server({}, metrics(), &store, &watchdog,
+                               {"bench", "mnist", "lcs", evals});
+    std::atomic<bool> scraping{true};
+    std::uint64_t local_scrapes = 0;
+    std::thread scraper([&] {
+      while (scraping.load(std::memory_order_relaxed)) {
+        for (const char* path : {"/metrics", "/healthz", "/status", "/series"}) {
+          HttpRequest req;
+          req.method = "GET";
+          req.path = path;
+          benchmark::DoNotOptimize(server.handle(req));
+          ++local_scrapes;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    event_sink.str({});
+    on_s = std::min(on_s, run_once(app, evals));
+    scraping.store(false);
+    scraper.join();
+    sampler.stop();
+    watchdog.detach();
+    ticks = sampler.ticks();
+    scrapes = local_scrapes;
+  }
+  bus.set_enabled(false);
+  bus.set_stream(nullptr);
+
+  const double overhead = off_s > 0.0 ? (on_s - off_s) / off_s : 0.0;
+  TableReport table({"telemetry plane", "wall s (min of N)", "overhead"});
+  table.add_row({"off (instrumented, unserved)", TableReport::cell(off_s, 3), "-"});
+  table.add_row({"on (50ms sampler + scrape loop)", TableReport::cell(on_s, 3),
+                 TableReport::cell_pct(overhead)});
+  table.print(std::cout);
+  std::cout << "\nsearch: mnist/LCS, " << evals << " evals, 8 workers, " << repeats
+            << " repeats | last run: " << ticks << " sampler ticks, " << scrapes
+            << " endpoint scrapes\n"
+            << (overhead <= 0.05
+                    ? "PASS: telemetry plane within the 5% acceptance target.\n"
+                    : "WARN: telemetry plane above the 5% target on this host/run.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,5 +310,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   overhead_experiment();
   journal_overhead_experiment();
+  telemetry_plane_experiment();
   return 0;
 }

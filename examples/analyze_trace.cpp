@@ -27,6 +27,7 @@
 #include "exp/trace_io.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 #include "obs/span_tracer.hpp"
 
 namespace {
@@ -105,6 +106,74 @@ void analyze_metrics_json(const JsonValue& doc) {
   print_metrics_snapshot(std::cout, snap);
 }
 
+/// Unicode sparkline of `pts`, downsampled to `width` buckets (mean per
+/// bucket).  Flat series render as a mid-level bar, not noise.
+std::string sparkline(const std::vector<SeriesPoint>& pts, std::size_t width = 48) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+  if (pts.empty()) return "";
+  double lo = pts.front().value, hi = pts.front().value;
+  for (const SeriesPoint& p : pts) {
+    lo = std::min(lo, p.value);
+    hi = std::max(hi, p.value);
+  }
+  const std::size_t buckets = std::min(width, pts.size());
+  std::string out;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = b * pts.size() / buckets;
+    const std::size_t end = std::max(begin + 1, (b + 1) * pts.size() / buckets);
+    double mean = 0.0;
+    for (std::size_t i = begin; i < end; ++i) mean += pts[i].value;
+    mean /= static_cast<double>(end - begin);
+    const int level =
+        hi > lo ? std::clamp(static_cast<int>((mean - lo) / (hi - lo) * 7.999), 0, 7)
+                : 3;
+    out += kBars[level];
+  }
+  return out;
+}
+
+/// Live-telemetry series CSV (nas_cli --series-out / GET /series?format=csv):
+/// one sparkline row per series over wall time, with best-score progress
+/// called out first — the "did the search keep improving while it burned
+/// wall-clock?" question the time-series plane exists to answer.
+void analyze_series_csv(const std::string& path) {
+  TimeSeriesStore store;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  read_series_csv(in, store);
+  const auto names = store.names();
+  if (names.empty()) {
+    std::cout << "No series in " << path << ".\n";
+    return;
+  }
+
+  const std::vector<SeriesPoint> best = store.points("quality.best_score");
+  if (!best.empty()) {
+    print_banner(std::cout, "best score over wall time");
+    std::cout << "  " << sparkline(best) << "\n  "
+              << TableReport::cell(best.front().value) << " @ "
+              << TableReport::cell(best.front().wall_s, 1) << "s  ->  "
+              << TableReport::cell(best.back().value) << " @ "
+              << TableReport::cell(best.back().wall_s, 1) << "s wall ("
+              << best.size() << " samples)\n";
+  }
+
+  print_banner(std::cout, "sampled series");
+  TableReport table({"series", "n", "first", "last", "trend"});
+  for (const std::string& name : names) {
+    const auto pts = store.points(name);
+    if (pts.empty()) continue;
+    table.add_row({name, std::to_string(pts.size()),
+                   TableReport::cell(pts.front().value),
+                   TableReport::cell(pts.back().value), sparkline(pts, 32)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: best_score should climb early and plateau; a flat\n"
+               "evals_completed_total alongside advancing wall time is the stall\n"
+               "signature the health watchdog turns into a 503.\n";
+}
+
 /// Dispatch a .json input on its content: span traces carry "traceEvents",
 /// metrics snapshots carry "counters".
 void analyze_json(const std::string& path) {
@@ -140,6 +209,16 @@ int main(int argc, char** argv) try {
     if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
       analyze_json(path);
       return 0;
+    }
+    // CSV dispatch by header: the telemetry sampler's series files start
+    // with "series,wall_s,..." while candidate traces start with "id,...".
+    {
+      std::ifstream sniff(path);
+      std::string header;
+      if (sniff && std::getline(sniff, header) && header.rfind("series,", 0) == 0) {
+        analyze_series_csv(path);
+        return 0;
+      }
     }
     trace = read_trace_csv(path);
     std::cout << "Loaded " << trace.records.size() << " records from " << argv[1] << "\n";

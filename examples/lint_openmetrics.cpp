@@ -1,0 +1,38 @@
+// OpenMetrics exposition linter for /metrics scrapes.
+//
+//   $ curl -s localhost:9f/metrics | ./lint_openmetrics
+//   $ ./lint_openmetrics scrape.txt
+//
+// Exit 0 when the document passes, 1 with one issue per line on stderr
+// otherwise.  CI pipes the live /metrics scrape through this to catch
+// format drift (a scraper-breaking change fails the job, not a dashboard).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "serve/openmetrics.hpp"
+
+int main(int argc, char** argv) {
+  std::ostringstream buf;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "lint_openmetrics: cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    buf << in.rdbuf();
+  } else {
+    buf << std::cin.rdbuf();
+  }
+  const swt::OpenMetricsReport report = swt::validate_openmetrics(buf.str());
+  if (report.ok()) {
+    std::cout << "OK: " << report.families << " families, " << report.samples
+              << " samples\n";
+    return 0;
+  }
+  for (const swt::OpenMetricsIssue& issue : report.issues)
+    std::cerr << "line " << issue.line << ": " << issue.message << "\n";
+  std::cerr << report.issues.size() << " issue(s)\n";
+  return 1;
+}

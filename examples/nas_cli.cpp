@@ -18,9 +18,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "common/interrupt.hpp"
 #include "common/log.hpp"
 #include "exp/apps.hpp"
 #include "exp/journal.hpp"
@@ -29,8 +31,11 @@
 #include "exp/runner.hpp"
 #include "exp/trace_io.hpp"
 #include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 #include "obs/span_tracer.hpp"
+#include "serve/obs_server.hpp"
 #include "tensor/kernels.hpp"
 
 namespace {
@@ -52,6 +57,24 @@ using namespace swt;
                "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
                "       [--run-dir DIR] [--resume] [--crash-after-evals N]\n"
                "       [--no-journal-fsync]\n"
+               "       [--serve-port P] [--sample-interval-ms M] [--series-out F]\n"
+               "       [--stall-after-s S] [--inject-stall-after N] [--inject-stall-s S]\n"
+               "\n"
+               "live telemetry plane (all off by default; see DESIGN.md s10):\n"
+               "  --serve-port P      serve GET /metrics /healthz /status /series on\n"
+               "                      127.0.0.1:P while the search runs (0 = pick a\n"
+               "                      free port; it is printed at startup).  Enables\n"
+               "                      the sampler and health watchdog.\n"
+               "  --sample-interval-ms M  time-series sampling period (default 250)\n"
+               "  --series-out F      write the sampled time series as CSV at exit\n"
+               "                      (also enables the sampler without --serve-port)\n"
+               "  --stall-after-s S   watchdog: flag the run stalled (503 /healthz)\n"
+               "                      after S wall seconds without a completed\n"
+               "                      evaluation (default 30)\n"
+               "  --inject-stall-after N  testing: freeze the scheduler thread (wall\n"
+               "                      clock only; the virtual timeline and trace are\n"
+               "                      untouched) once N evaluations have completed\n"
+               "  --inject-stall-s S  duration of that injected stall (default 5)\n"
                "\n"
                "crash recovery (see DESIGN.md \"Durability contract\"):\n"
                "  --run-dir DIR       durable run: checkpoints in DIR/ckpts, config\n"
@@ -191,7 +214,11 @@ int main(int argc, char** argv) try {
   std::string trace_out;
   std::string events_out;
   std::string registry_dir;
+  std::string series_out;
   bool progress = false;
+  int serve_port = -1;  // -1 = no server; 0 = ephemeral
+  long sample_interval_ms = 250;
+  double stall_after_s = 30.0;
   CompressionKind compression = CompressionKind::kNone;
 
   // --resume takes its configuration from the run directory's manifest, so
@@ -271,6 +298,16 @@ int main(int argc, char** argv) try {
     else if (arg == "--resume") cfg.resume = true;
     else if (arg == "--crash-after-evals") cfg.journal_crash_after = std::stol(next());
     else if (arg == "--no-journal-fsync") cfg.journal_fsync = false;
+    else if (arg == "--serve-port") serve_port = std::stoi(next());
+    else if (arg == "--sample-interval-ms") sample_interval_ms = std::stol(next());
+    else if (arg == "--series-out") series_out = next();
+    else if (arg == "--stall-after-s") stall_after_s = std::stod(next());
+    else if (arg == "--inject-stall-after") {
+      cfg.cluster.faults.stall_after_evals = std::stol(next());
+      if (cfg.cluster.faults.stall_wall_seconds <= 0.0)
+        cfg.cluster.faults.stall_wall_seconds = 5.0;
+    }
+    else if (arg == "--inject-stall-s") cfg.cluster.faults.stall_wall_seconds = std::stod(next());
     else usage(argv[0]);
   }
   if (cfg.journal_crash_after >= 0 && cfg.run_dir.empty()) {
@@ -305,15 +342,89 @@ int main(int argc, char** argv) try {
     bus.set_listener([&meter](const Event& ev) { meter.on_event(ev); });
   if (!events_out.empty() || progress) bus.set_enabled(true);
 
+  // Live telemetry plane: watchdog + sampler + HTTP server, all optional
+  // and all pure readers of telemetry state — the search itself never
+  // blocks on any of them and the virtual timeline/RNG are untouched.
+  const bool telemetry_on = serve_port >= 0 || !series_out.empty();
+  std::unique_ptr<HealthWatchdog> watchdog;
+  std::unique_ptr<TimeSeriesStore> series_store;
+  std::unique_ptr<Sampler> sampler;
+  std::unique_ptr<ObservabilityServer> server;
+  if (telemetry_on) {
+    bus.set_enabled(true);  // the watchdog's progress signal rides the bus
+    watchdog = std::make_unique<HealthWatchdog>(
+        HealthWatchdog::Config{.stall_after_s = stall_after_s});
+    watchdog->attach(bus);
+    series_store = std::make_unique<TimeSeriesStore>();
+    Sampler::Config sampler_cfg;
+    sampler_cfg.interval = std::chrono::milliseconds(sample_interval_ms);
+    sampler = std::make_unique<Sampler>(*series_store, metrics(), sampler_cfg);
+    // Poll on the sampling cadence so stall detection advances even when
+    // nobody scrapes /healthz (poll() must never run under the bus lock).
+    sampler->set_on_tick([&watchdog] { watchdog->poll(); });
+    sampler->start();
+    if (serve_port >= 0) {
+      HttpServer::Config http_cfg;
+      http_cfg.port = serve_port;
+      server = std::make_unique<ObservabilityServer>(
+          http_cfg, metrics(), series_store.get(), watchdog.get(),
+          ObservabilityServer::StatusInfo{
+              app.name + "-" + std::string(to_string(cfg.mode)) + "-s" +
+                  std::to_string(cfg.seed),
+              app.name, std::string(to_string(cfg.mode)), cfg.n_evals});
+      server->start();
+      std::cout << "telemetry: http://127.0.0.1:" << server->port()
+                << " (/metrics /healthz /status /series)\n";
+    }
+  }
+
+  // SIGINT/SIGTERM: flush whatever telemetry outputs were requested, then
+  // exit 128+sig (130 / 143).  The search thread keeps running while the
+  // flush happens; everything written below is behind its own lock.
+  const InterruptFlusher flusher([&] {
+    bus.set_enabled(false);
+    bus.set_listener(nullptr);
+    bus.set_stream(nullptr);  // takes the bus lock: no more writers after this
+    if (events_file.is_open()) events_file.flush();
+    if (sampler != nullptr) {
+      sampler->stop();
+      sampler->tick();  // one final synchronous sample
+    }
+    if (!series_out.empty() && series_store != nullptr) {
+      std::ofstream out(series_out, std::ios::trunc);
+      if (out) write_series_csv(out, *series_store);
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out, std::ios::trunc);
+      if (out) write_metrics_json(out, metrics().snapshot());
+    }
+    if (!trace_out.empty())
+      write_trace_json(trace_out, SpanTracer::global().events());
+    if (server != nullptr) server->stop();
+    std::cerr << "\n[nas] interrupted; telemetry flushed\n";
+  });
+
   const auto wall_start = std::chrono::steady_clock::now();
   const NasRun run = run_nas(app, cfg);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   if (progress) meter.finish();
+  if (sampler != nullptr) {
+    sampler->stop();
+    sampler->tick();  // capture the end-of-run gauge values
+  }
+  if (server != nullptr) server->stop();
+  if (watchdog != nullptr) watchdog->detach();
   bus.set_enabled(false);
   bus.set_listener(nullptr);
   bus.set_stream(nullptr);
+  if (!series_out.empty() && series_store != nullptr) {
+    std::ofstream out(series_out, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + series_out);
+    write_series_csv(out, *series_store);
+    std::cout << "time series written to " << series_out << "\n";
+  }
 
   const auto top = top_k(run.trace, 5);
   TableReport table({"rank", "arch", "score", "#params"});

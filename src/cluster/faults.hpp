@@ -64,7 +64,18 @@ struct FaultConfig {
   double retry_backoff_s = 0.050;
   double retry_backoff_multiplier = 2.0;
 
-  /// True when any fault can actually fire.
+  /// Wall-clock stall injection, for exercising the health watchdog: once
+  /// `stall_after_evals` evaluations have completed, the scheduler thread
+  /// sleeps (real time) for `stall_wall_seconds`, exactly once.  These are
+  /// deliberately NOT part of active() and never touch the virtual clock,
+  /// RNG or any record — a stalled run's trace is byte-identical to an
+  /// unstalled one.  -1 disables.
+  long stall_after_evals = -1;
+  double stall_wall_seconds = 0.0;
+
+  /// True when any fault can actually fire.  The wall-clock stall knobs are
+  /// excluded: they exist to freeze real time for the watchdog, not to
+  /// perturb the modelled cluster, so they must leave FaultModel inert.
   [[nodiscard]] bool active() const noexcept {
     return mtbf_seconds > 0.0 || straggler_rate > 0.0 ||
            ckpt_write_fault_rate > 0.0 || ckpt_read_fault_rate > 0.0;

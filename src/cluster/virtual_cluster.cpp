@@ -1,10 +1,12 @@
 #include "cluster/virtual_cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <queue>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -131,6 +133,25 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
   double clock = cfg.clock_origin;
   long submitted = 0;  // fresh proposals issued (resubmissions reuse their id)
   long finished = 0;   // completed records + permanently lost evaluations
+
+  // Live progress telemetry.  Counters are bumped incrementally as events
+  // happen (so a /metrics scrape mid-run sees real progress, and the final
+  // totals equal what a single end-of-run add would have produced); the
+  // search.* gauges give scrapers and the sampler a consistent live view,
+  // including the virtual clock (which nothing here ever reads back).
+  const bool live_metrics = metrics_enabled();
+  const auto publish_progress = [&] {
+    if (!live_metrics) return;
+    MetricsRegistry& m = metrics();
+    m.gauge("search.virtual_time_seconds").set(clock);
+    m.gauge("search.evals_completed").set(static_cast<double>(finished));
+    m.gauge("search.evals_submitted").set(static_cast<double>(submitted));
+    m.gauge("search.evals_in_flight").set(static_cast<double>(in_flight.size()));
+  };
+  // One-shot wall-clock stall (see FaultConfig::stall_after_evals): freezes
+  // the scheduler thread in real time so the watchdog sees no progress, but
+  // leaves the virtual timeline untouched.
+  bool stall_fired = false;
 
   // Wavefront execution substrate.  The evaluations handed out at one
   // virtual instant are mutually independent (a parent must be *reported*
@@ -360,23 +381,30 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
       tracer.counter("in_flight", kTraceVirtualPid, clock * 1e6,
                      static_cast<double>(in_flight.size()));
     if (done.crashed) {
+      if (live_metrics) metrics().counter("cluster.crashes_total").add(1);
       if (done.record.attempt + 1 < max_attempts) {
         resubmit.push_back(
             Resubmit{done.record.id, std::move(done.proposal), done.record.attempt + 1});
         ++trace.resubmissions;
+        if (live_metrics) metrics().counter("cluster.resubmissions_total").add(1);
         bus.emit(EventType::kResubmission, clock, -1, done.record.id,
                  {{"attempt", std::to_string(done.record.attempt + 1)}});
       } else {
         ++trace.lost_evaluations;  // accounted, never silently dropped
+        if (live_metrics) metrics().counter("cluster.lost_evaluations_total").add(1);
         ++finished;
       }
+      publish_progress();
       continue;
     }
     strategy.report(Outcome{done.record.id, done.record.arch, done.record.score,
                             done.record.ckpt_key});
     trace.makespan = std::max(trace.makespan, done.record.virtual_finish);
     trace.retry_seconds += done.record.retry_seconds;
-    if (done.record.transfer_fallback) ++trace.transfer_fallbacks;
+    if (done.record.transfer_fallback) {
+      ++trace.transfer_fallbacks;
+      if (live_metrics) metrics().counter("cluster.transfer_fallbacks_total").add(1);
+    }
     if (tracer.enabled()) emit_eval_spans(tracer, done.record);
     if (bus.enabled()) {
       bus.emit(EventType::kEvalFinished, done.record.virtual_finish, done.worker,
@@ -406,16 +434,20 @@ Trace run_search(Evaluator& evaluator, SearchStrategy& strategy, long n_evals,
     }
     trace.records.push_back(std::move(done.record));
     ++finished;
+    if (live_metrics) metrics().counter("cluster.evals_completed_total").add(1);
+    publish_progress();
+
+    if (cfg.faults.stall_after_evals >= 0 && !stall_fired &&
+        finished >= cfg.faults.stall_after_evals &&
+        cfg.faults.stall_wall_seconds > 0.0) {
+      stall_fired = true;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(cfg.faults.stall_wall_seconds));
+    }
   }
 
   if (metrics_enabled()) {
     MetricsRegistry& m = metrics();
-    m.counter("cluster.evals_completed_total")
-        .add(static_cast<std::int64_t>(trace.records.size()));
-    m.counter("cluster.crashes_total").add(trace.crashed_attempts);
-    m.counter("cluster.resubmissions_total").add(trace.resubmissions);
-    m.counter("cluster.lost_evaluations_total").add(trace.lost_evaluations);
-    m.counter("cluster.transfer_fallbacks_total").add(trace.transfer_fallbacks);
     const double wall = (trace.makespan - cfg.clock_origin) * cfg.num_workers;
     m.gauge("cluster.worker_busy_seconds").add(busy_seconds);
     m.gauge("cluster.worker_recovery_seconds").add(recovery_seconds);

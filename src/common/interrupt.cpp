@@ -1,0 +1,81 @@
+#include "common/interrupt.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace swt {
+
+namespace {
+
+// Process-wide singleton state.  The signal handler may only touch
+// async-signal-safe pieces: the pipe fd and the busy flag.
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_flushing{false};
+int g_pipe[2] = {-1, -1};
+std::function<void()> g_callback;
+std::thread g_watcher;
+struct sigaction g_old_int, g_old_term;
+
+extern "C" void interrupt_handler(int sig) {
+  // Second signal while the flush callback runs: the user really means it.
+  if (g_flushing.load(std::memory_order_relaxed)) _exit(128 + sig);
+  const unsigned char byte = static_cast<unsigned char>(sig);
+  // write() is async-signal-safe; a full pipe just means a signal is
+  // already queued, in which case dropping this one is fine.
+  [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+}
+
+void watcher_loop() {
+  unsigned char byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(g_pipe[0], &byte, 1);
+    if (n < 0) continue;         // EINTR: retry
+    if (n == 0 || byte == 0) return;  // pipe closed / shutdown byte: clean exit
+    break;
+  }
+  g_flushing.store(true, std::memory_order_relaxed);
+  if (g_callback) g_callback();
+  _exit(128 + static_cast<int>(byte));
+}
+
+}  // namespace
+
+InterruptFlusher::InterruptFlusher(std::function<void()> on_interrupt) {
+  if (g_installed.exchange(true))
+    throw std::logic_error("InterruptFlusher: already installed in this process");
+  if (::pipe(g_pipe) != 0) {
+    g_installed.store(false);
+    throw std::runtime_error("InterruptFlusher: pipe() failed");
+  }
+  g_callback = std::move(on_interrupt);
+  g_flushing.store(false, std::memory_order_relaxed);
+  g_watcher = std::thread(watcher_loop);
+
+  struct sigaction sa{};
+  sa.sa_handler = interrupt_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, &g_old_int);
+  ::sigaction(SIGTERM, &sa, &g_old_term);
+}
+
+InterruptFlusher::~InterruptFlusher() {
+  ::sigaction(SIGINT, &g_old_int, nullptr);
+  ::sigaction(SIGTERM, &g_old_term, nullptr);
+  // Zero byte = orderly shutdown; the watcher returns instead of flushing.
+  const unsigned char zero = 0;
+  [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &zero, 1);
+  if (g_watcher.joinable()) g_watcher.join();
+  ::close(g_pipe[0]);
+  ::close(g_pipe[1]);
+  g_pipe[0] = g_pipe[1] = -1;
+  g_callback = nullptr;
+  g_installed.store(false);
+}
+
+}  // namespace swt

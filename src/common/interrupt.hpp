@@ -1,0 +1,39 @@
+// Graceful-interrupt support: flush telemetry before dying on SIGINT/SIGTERM.
+//
+// A live search killed with Ctrl-C used to take its in-memory telemetry
+// (metrics snapshot, span trace, time series) down with it.  InterruptFlusher
+// installs handlers for SIGINT and SIGTERM that do nothing async-unsafe: the
+// handler writes the signal number down a self-pipe and returns.  A watcher
+// thread blocks on the pipe's read end, runs the registered flush callback in
+// a normal thread context (free to take locks, allocate, do file I/O), and
+// exits the process with the conventional code 128 + signal (130 for SIGINT,
+// 143 for SIGTERM).
+//
+// One instance per process; installing a second throws.  If the callback
+// itself hangs or crashes, a second signal delivery kills the process
+// immediately (the handlers are installed without SA_RESETHAND, but the
+// watcher marks itself busy and the handler escalates to _exit).
+#pragma once
+
+#include <functional>
+
+namespace swt {
+
+class InterruptFlusher {
+ public:
+  /// Installs the SIGINT/SIGTERM handlers and starts the watcher thread.
+  /// `on_interrupt` runs exactly once, on the watcher thread, before exit.
+  explicit InterruptFlusher(std::function<void()> on_interrupt);
+
+  /// Restores the previous signal dispositions and joins the watcher.
+  /// (Only reached when no signal arrived — otherwise the process exits.)
+  ~InterruptFlusher();
+
+  InterruptFlusher(const InterruptFlusher&) = delete;
+  InterruptFlusher& operator=(const InterruptFlusher&) = delete;
+
+  /// Exit code the process will use for signal `sig` (128 + sig).
+  [[nodiscard]] static int exit_code_for(int sig) noexcept { return 128 + sig; }
+};
+
+}  // namespace swt

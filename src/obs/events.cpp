@@ -24,6 +24,7 @@ const char* to_string(EventType type) noexcept {
     case EventType::kResubmission: return "resubmission";
     case EventType::kBestScoreImproved: return "best_score_improved";
     case EventType::kRunFinished: return "run_finished";
+    case EventType::kHealthChanged: return "health_changed";
   }
   return "unknown";
 }
@@ -67,6 +68,18 @@ void EventBus::set_listener(Listener listener) {
   listener_ = std::move(listener);
 }
 
+int EventBus::add_listener(Listener listener) {
+  std::scoped_lock lock(mutex_);
+  const int id = next_listener_id_++;
+  extra_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void EventBus::remove_listener(int id) {
+  std::scoped_lock lock(mutex_);
+  std::erase_if(extra_listeners_, [id](const auto& entry) { return entry.first == id; });
+}
+
 void EventBus::emit(Event ev) {
   if (!enabled()) return;
   ev.wall_s = SpanTracer::wall_now_us() / 1e6;
@@ -80,6 +93,7 @@ void EventBus::emit(Event ev) {
     stream_->flush();  // keeps the file tailable mid-run
   }
   if (listener_) listener_(ev);
+  for (const auto& [id, fn] : extra_listeners_) fn(ev);
 }
 
 void EventBus::emit(EventType type, double virtual_s, int worker, long eval_id,

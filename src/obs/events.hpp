@@ -45,9 +45,10 @@ enum class EventType {
   kResubmission,
   kBestScoreImproved,
   kRunFinished,
+  kHealthChanged,  ///< watchdog state transition (obs/health.hpp)
 };
 
-inline constexpr std::size_t kNumEventTypes = 15;
+inline constexpr std::size_t kNumEventTypes = 16;
 
 /// Stable NDJSON name of `type` ("run_started", "eval_finished", ...).
 [[nodiscard]] const char* to_string(EventType type) noexcept;
@@ -83,6 +84,13 @@ class EventBus {
   using Listener = std::function<void(const Event&)>;
   void set_listener(Listener listener);
 
+  /// Additional observers (the health watchdog, tests) that coexist with
+  /// the primary set_listener slot.  Returns an id for remove_listener.
+  /// Listeners run under the bus lock: never emit back into the bus from
+  /// one (self-deadlock) and keep them allocation-light.
+  int add_listener(Listener listener);
+  void remove_listener(int id);
+
   /// Emit one event (no-op when disabled).
   void emit(Event ev);
 
@@ -107,6 +115,8 @@ class EventBus {
   mutable std::mutex mutex_;
   std::ostream* stream_ = nullptr;
   Listener listener_;
+  std::vector<std::pair<int, Listener>> extra_listeners_;
+  int next_listener_id_ = 1;
   long counts_[kNumEventTypes] = {};
   long total_ = 0;
 };

@@ -1,0 +1,106 @@
+// Run health watchdog: turns the event stream into a liveness verdict.
+//
+// A live search can wedge in ways none of the existing instruments surface
+// on their own: every worker stuck in crash-recovery loops, a PFS that
+// fails every checkpoint write, an evaluator deadlock.  The watchdog
+// subscribes to the EventBus, tracks the last wall time each worker (and
+// the run as a whole) made progress, and classifies the run as
+//
+//   kIdle          no run started yet / run finished (healthy by default)
+//   kOk            an eval completed recently
+//   kStalled       run active but no evaluation completed for
+//                  `stall_after_s` wall seconds
+//   kCkptDegraded  more than `ckpt_retry_limit` checkpoint retries since
+//                  the last completed evaluation (the PFS is failing faster
+//                  than the search progresses)
+//
+// `/healthz` maps kStalled/kCkptDegraded to HTTP 503 with a JSON reason.
+// Every state transition publishes the `health.*` gauge family and emits a
+// `health_changed` NDJSON event, so an operator tailing the event log sees
+// the degradation the moment a poll detects it.
+//
+// Split of responsibilities: on_event() (called under the bus lock) only
+// records timestamps; poll() (called by the Sampler's tick hook and by
+// every /healthz request) evaluates the state machine and performs the
+// side effects.  poll() must therefore never run under the bus lock.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace swt {
+
+class HealthWatchdog {
+ public:
+  struct Config {
+    /// Wall seconds without a completed evaluation (while a run is active)
+    /// before the run counts as stalled.
+    double stall_after_s = 30.0;
+    /// Checkpoint retries since the last completed evaluation before the
+    /// run counts as checkpoint-degraded.
+    long ckpt_retry_limit = 64;
+  };
+
+  enum class State { kIdle, kOk, kStalled, kCkptDegraded };
+
+  explicit HealthWatchdog(Config cfg);
+  HealthWatchdog();
+  ~HealthWatchdog();
+
+  HealthWatchdog(const HealthWatchdog&) = delete;
+  HealthWatchdog& operator=(const HealthWatchdog&) = delete;
+
+  /// Subscribe to `bus` (add_listener); detach() or destruction unsubscribes.
+  void attach(EventBus& bus);
+  void detach();
+
+  /// Record one event (also invoked directly by tests).  Only bookkeeping —
+  /// state evaluation happens in poll().
+  void on_event(const Event& ev);
+
+  /// Evaluate the state machine at the current wall time; on a transition,
+  /// publish health.* gauges and emit a health_changed event on the
+  /// attached bus.  Returns the (possibly new) state.
+  State poll();
+
+  [[nodiscard]] State state() const;
+  /// Human-readable reason for a degraded state ("" when healthy).
+  [[nodiscard]] std::string reason() const;
+  [[nodiscard]] bool run_active() const;
+  /// Wall seconds since the last completed evaluation (or run start);
+  /// negative before any run started.
+  [[nodiscard]] double seconds_since_progress() const;
+
+  /// Per-worker view for /status, keyed by worker id.
+  struct WorkerInfo {
+    int worker = -1;
+    bool busy = false;               ///< eval started but not finished
+    double last_event_wall_s = 0.0;  ///< wall stamp of the last event seen
+    long evals_finished = 0;
+    long crashes = 0;
+  };
+  [[nodiscard]] std::vector<WorkerInfo> workers() const;
+
+  [[nodiscard]] static const char* to_string(State s) noexcept;
+
+ private:
+  [[nodiscard]] State evaluate(double now_wall_s, std::string* why) const;
+
+  Config cfg_;
+  mutable std::mutex mutex_;
+  EventBus* bus_ = nullptr;
+  int listener_id_ = 0;
+  State state_ = State::kIdle;
+  std::string reason_;
+  bool run_active_ = false;
+  bool run_seen_ = false;
+  double last_progress_wall_s_ = 0.0;  ///< last eval_finished (or run start)
+  long ckpt_retries_since_progress_ = 0;
+  long evals_finished_ = 0;
+  std::vector<WorkerInfo> workers_;
+};
+
+}  // namespace swt

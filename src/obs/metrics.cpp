@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
@@ -52,7 +53,10 @@ void Histogram::observe(double v) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // Release pairs with the acquire load in count(): a scraper that reads
+  // the total first and the buckets second can never see a count without
+  // its bucket increment (see the header's concurrent-scrape contract).
+  count_.fetch_add(1, std::memory_order_release);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
@@ -150,7 +154,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g->value());
   for (const auto& [name, h] : histograms_) {
     HistogramSnapshot hs;
-    hs.count = h->count();
+    hs.count = h->count();  // acquire: read before the buckets, see observe()
     hs.sum = h->sum();
     hs.min = h->min();
     hs.max = h->max();
@@ -162,6 +166,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.histograms.emplace(name, std::move(hs));
   }
   return snap;
+}
+
+std::map<std::string, double> MetricsRegistry::scalar_values() const {
+  std::scoped_lock lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_)
+    out.emplace(name, static_cast<double>(c->value()));
+  for (const auto& [name, g] : gauges_) out.emplace(name, g->value());
+  return out;
 }
 
 void MetricsRegistry::reset() {
@@ -211,6 +224,62 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+namespace {
+
+/// OpenMetrics value token: the spec has NaN/+Inf/-Inf literals where JSON
+/// does not, so this deliberately diverges from json_number.
+std::string om_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  return json_number(v);
+}
+
+}  // namespace
+
+void write_metrics_openmetrics(std::ostream& os, const MetricsSnapshot& snap) {
+  for (const auto& [raw_name, v] : snap.counters) {
+    // OpenMetrics: the counter *family* must not end in _total, the sample
+    // must.  Registry counters conventionally already carry the suffix.
+    std::string family = openmetrics_name(raw_name);
+    constexpr std::string_view suffix = "_total";
+    if (family.size() > suffix.size() &&
+        family.compare(family.size() - suffix.size(), suffix.size(), suffix) == 0)
+      family.resize(family.size() - suffix.size());
+    os << "# TYPE " << family << " counter\n" << family << "_total " << v << "\n";
+  }
+  for (const auto& [raw_name, v] : snap.gauges) {
+    const std::string name = openmetrics_name(raw_name);
+    os << "# TYPE " << name << " gauge\n" << name << " " << om_value(v) << "\n";
+  }
+  for (const auto& [raw_name, h] : snap.histograms) {
+    const std::string name = openmetrics_name(raw_name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      const bool overflow = i + 1 == h.counts.size();
+      os << name << "_bucket{le=\""
+         << (overflow ? "+Inf" : om_value(i < h.bounds.size() ? h.bounds[i] : 0.0))
+         << "\"} " << cum << "\n";
+    }
+    os << name << "_sum " << om_value(h.sum) << "\n"
+       << name << "_count " << h.count << "\n";
+  }
+  os << "# EOF\n";
 }
 
 void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {

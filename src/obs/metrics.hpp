@@ -67,9 +67,19 @@ class Gauge {
 ///
 /// `bounds` are inclusive bucket upper edges, strictly increasing; one
 /// overflow bucket is appended internally.  observe() is one bucket scan
-/// plus relaxed atomic increments, safe from any thread.  Quantiles are
-/// estimated by linear interpolation inside the bucket that crosses the
-/// requested rank (Prometheus-style), clamped to the observed min/max.
+/// plus atomic increments, safe from any thread.  Quantiles are estimated
+/// by linear interpolation inside the bucket that crosses the requested
+/// rank (Prometheus-style), clamped to the observed min/max.
+///
+/// Concurrent-scrape contract (the /metrics endpoint reads while 8+ threads
+/// update): every individual load is atomic, so no value is ever torn, and
+/// observe() publishes the bucket increment *before* the total count
+/// (release) while count() reads with acquire — a reader that loads
+/// count() first and bucket_counts() second (snapshot() does) is guaranteed
+/// sum(buckets) >= count, i.e. the scrape never reports an observation in
+/// the total that is missing from its bucket.  Cross-field aggregates
+/// (sum vs count) may still lag each other by in-flight observations;
+/// scrapes are monotone, not serialized.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds = {});
@@ -77,7 +87,9 @@ class Histogram {
   void observe(double v) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
+    // Acquire pairs with the release add in observe(): bucket increments of
+    // every counted observation are visible to subsequent bucket loads.
+    return count_.load(std::memory_order_acquire);
   }
   [[nodiscard]] double sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
@@ -138,6 +150,9 @@ class MetricsRegistry {
                                      std::vector<double> bounds = {});
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Counters (as double) and gauges only — no histogram quantile work.
+  /// The time-series Sampler's read path: cheap enough for a 4 Hz loop.
+  [[nodiscard]] std::map<std::string, double> scalar_values() const;
   /// Zero every instrument's value; registrations (and cached references)
   /// survive.  Used between bench repetitions and by tests.
   void reset();
@@ -157,5 +172,17 @@ class MetricsRegistry {
 /// aggregates expanded).
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
 void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Render a snapshot in OpenMetrics text exposition format (the
+/// `GET /metrics` payload): `# TYPE` lines per family, counter samples
+/// suffixed `_total`, histograms expanded into cumulative `_bucket{le=...}`
+/// samples plus `_sum`/`_count`, terminated by `# EOF`.  Metric names are
+/// sanitized to [a-zA-Z0-9_:] (dots become underscores).  Non-finite values
+/// render as NaN/+Inf/-Inf per the spec.
+void write_metrics_openmetrics(std::ostream& os, const MetricsSnapshot& snap);
+
+/// OpenMetrics-safe name: invalid characters replaced by '_', leading
+/// digit prefixed.
+[[nodiscard]] std::string openmetrics_name(std::string_view name);
 
 }  // namespace swt

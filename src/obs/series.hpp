@@ -1,0 +1,158 @@
+// Time-series telemetry: periodic snapshots of registry scalars into
+// fixed-capacity ring buffers.
+//
+// MetricsRegistry answers "what is the value now"; the event bus answers
+// "what just happened".  Neither answers "how did the transfer hit rate
+// evolve over the last ten minutes" without replaying a full event log.
+// The TimeSeriesStore holds that middle ground: a background Sampler
+// thread snapshots selected counters/gauges (including the quality.* and
+// health.* families) every few hundred milliseconds and appends one
+// (wall, virtual, value) point per series into a preallocated ring, so a
+// live run can serve `GET /series?name=quality.best_score` at any moment
+// and a finished run can export the whole history as CSV.
+//
+// Determinism contract: the sampler is a pure *reader*.  It never touches
+// the virtual clock, the RNG streams or any search state — the virtual
+// stamp comes from the `search.virtual_time_seconds` gauge that run_search
+// publishes — so a sampled run produces a byte-identical trace to an
+// unsampled one.  Appends take one short mutex-guarded splice into a
+// preallocated buffer (no allocation after warm-up): cheap enough that the
+// store could be fed from hot paths, though nothing does today.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace swt {
+
+class MetricsRegistry;
+
+/// One sampled value.  `virtual_s` is -1 when no virtual clock was live
+/// (before run_search starts, or in processes that never run a search).
+struct SeriesPoint {
+  double wall_s = 0.0;     ///< wall seconds since the process trace epoch
+  double virtual_s = -1.0; ///< search virtual time at the sample instant
+  double value = 0.0;
+};
+
+/// Named fixed-capacity ring buffers of SeriesPoints.  Thread-safe; readers
+/// see a consistent snapshot of each series.  When a ring is full the
+/// oldest point is overwritten (dropped() counts them), so memory stays
+/// bounded on arbitrarily long runs.
+class TimeSeriesStore {
+ public:
+  /// `capacity` points are kept per series (must be >= 2).
+  explicit TimeSeriesStore(std::size_t capacity = 1024);
+
+  void append(std::string_view name, SeriesPoint p);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// All retained points of `name`, oldest first; empty for unknown series.
+  [[nodiscard]] std::vector<SeriesPoint> points(std::string_view name) const;
+  /// Downsampled window: at most `max_points` points spread evenly across
+  /// the retained range, always including the newest point.  0 = all.
+  [[nodiscard]] std::vector<SeriesPoint> window(std::string_view name,
+                                                std::size_t max_points) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total points ever appended to `name` (retained + overwritten).
+  [[nodiscard]] std::uint64_t total_appended(std::string_view name) const;
+  /// Points overwritten across all series (ring rollover).
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<SeriesPoint> buf;  ///< preallocated to capacity_
+    std::size_t next = 0;          ///< insertion index
+    std::uint64_t total = 0;       ///< lifetime appends
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Ring, std::less<>> series_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// CSV export/import: `series,wall_s,virtual_s,value` rows, series sorted
+/// by name, points oldest first.  read_series_csv throws std::runtime_error
+/// (with a line number) on malformed input.
+void write_series_csv(std::ostream& os, const TimeSeriesStore& store);
+void read_series_csv(std::istream& is, TimeSeriesStore& store);
+
+/// JSON export of one series: {"name":..., "total":N, "points":[[wall_s,
+/// virtual_s, value], ...]} — the `GET /series` payload.
+[[nodiscard]] std::string series_to_json(std::string_view name,
+                                         const std::vector<SeriesPoint>& pts,
+                                         std::uint64_t total);
+
+/// Background sampler: every `interval`, snapshot the registry's counters
+/// and gauges whose names match one of the configured prefixes and append
+/// them to the store.  Runs on its own thread; start()/stop() are
+/// idempotent and the destructor joins.  tick() is public so tests and
+/// shutdown paths can force one final synchronous sample.
+class Sampler {
+ public:
+  struct Config {
+    std::chrono::milliseconds interval{250};
+    /// Series name prefixes to record; empty = every counter and gauge.
+    /// Histograms are deliberately not sampled (their quantile computation
+    /// is priced for end-of-run snapshots, not a 4 Hz loop).
+    std::vector<std::string> prefixes = {"search.", "quality.", "cluster.",
+                                         "health."};
+    /// Gauge holding the live virtual clock; its value stamps every point
+    /// (-1 when the gauge is absent or no search has started).
+    std::string virtual_time_gauge = "search.virtual_time_seconds";
+  };
+
+  Sampler(TimeSeriesStore& store, MetricsRegistry& registry, Config cfg);
+  Sampler(TimeSeriesStore& store, MetricsRegistry& registry);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void start();
+  void stop();
+
+  /// One synchronous sampling pass (also called by the background loop).
+  void tick();
+
+  /// Hook invoked after every tick (background or explicit) — the health
+  /// watchdog polls here so stall detection advances even when nobody
+  /// scrapes /healthz.  Set before start().
+  void set_on_tick(std::function<void()> fn) { on_tick_ = std::move(fn); }
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  TimeSeriesStore& store_;
+  MetricsRegistry& registry_;
+  Config cfg_;
+  std::function<void()> on_tick_;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;  // guarded by mutex_
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace swt

@@ -1,0 +1,122 @@
+// Minimal dependency-free HTTP/1.1 server for the telemetry plane.
+//
+// This is deliberately the first brick of the ROADMAP's NAS-as-a-service
+// item: a blocking accept loop on its own thread feeding a small
+// fixed-size connection pool, POSIX sockets only, no third-party
+// dependency.  Scope is intentionally narrow — GET/HEAD, one request per
+// connection (`Connection: close`), bounded request size, read timeouts so
+// a half-open client cannot wedge a worker — because every consumer today
+// is a scrape loop (`curl`, Prometheus, the CI linter), not a browser
+// session.
+//
+// Threading: start() spawns 1 accept thread + cfg.num_threads connection
+// workers; the user handler runs on those workers and must be thread-safe.
+// stop() (and the destructor) shuts the listening socket down, drains the
+// connection queue and joins every thread, so no callback outlives the
+// server object.  The server never touches search state, the virtual clock
+// or any RNG — it only reads what the handler exposes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace swt {
+
+struct HttpRequest {
+  std::string method;  ///< upper-case, e.g. "GET"
+  std::string path;    ///< decoded-free path component, e.g. "/series"
+  /// Query parameters in order of appearance (no %-decoding beyond '+').
+  std::map<std::string, std::string> query;
+  /// Header names lower-cased.
+  std::map<std::string, std::string> headers;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses this server emits.
+[[nodiscard]] const char* http_status_reason(int status) noexcept;
+
+/// Parse the request head (everything before the blank line).  Returns
+/// false on malformed input (caller answers 400).  Exposed for tests.
+[[nodiscard]] bool parse_http_request(const std::string& head, HttpRequest* out);
+
+class HttpServer {
+ public:
+  struct Config {
+    /// Loopback by default: the telemetry plane is an operator tool, not an
+    /// internet-facing service.
+    std::string bind_address = "127.0.0.1";
+    /// 0 = ephemeral (the OS picks; read it back via port()).
+    int port = 0;
+    int num_threads = 2;
+    int backlog = 16;
+    /// Request head cap; longer heads answer 431 and close.
+    std::size_t max_request_bytes = 16 * 1024;
+    /// Per-connection socket read timeout.
+    double read_timeout_s = 5.0;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `handler` runs on connection-pool threads; exceptions it throws are
+  /// answered as 500 and swallowed.
+  HttpServer(Config cfg, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + listen + spawn the accept loop and workers.  Throws
+  /// std::runtime_error on bind/listen failure (port in use, ...).
+  void start();
+  /// Clean shutdown: close the listener, drain queued connections, join
+  /// all threads.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// The actually bound port (resolves port 0 after start()).
+  [[nodiscard]] int port() const noexcept { return port_.load(std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+  /// Requests rejected before the handler ran (400/405/431/timeouts).
+  [[nodiscard]] std::uint64_t requests_rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+
+  Config cfg_;
+  Handler handler_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+  bool stopping_ = false;    ///< guarded by queue_mutex_
+};
+
+}  // namespace swt

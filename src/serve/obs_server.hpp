@@ -1,0 +1,68 @@
+// The live telemetry endpoints, composed over HttpServer.
+//
+//   GET /          endpoint index (text)
+//   GET /metrics   MetricsRegistry snapshot, OpenMetrics text format
+//   GET /healthz   200 {"status":"ok"} | 503 {"status":"...","reason":...}
+//                  from the HealthWatchdog (200 when no watchdog is wired)
+//   GET /status    run JSON: id/app/mode, best score, evals done/in-flight,
+//                  transfer hit rate, Kendall tau, virtual time, per-worker
+//                  busy/idle — all read from the registry gauges run_search
+//                  publishes and the watchdog's event-derived worker table
+//   GET /series    ?name=<series>[&max_points=N][&format=csv] from the
+//                  TimeSeriesStore; without ?name, lists available series
+//
+// Every handler is a pure reader of thread-safe telemetry state; requests
+// can race a live search freely (test_serve hammers exactly that).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/http.hpp"
+
+namespace swt {
+
+class HealthWatchdog;
+class MetricsRegistry;
+class TimeSeriesStore;
+
+class ObservabilityServer {
+ public:
+  /// Static facts about the run being served, shown verbatim in /status.
+  struct StatusInfo {
+    std::string run_id;
+    std::string app;
+    std::string mode;
+    long n_evals = 0;
+  };
+
+  /// `store` and `watchdog` may be null (those endpoints degrade
+  /// gracefully); non-null pointers must outlive the server.
+  ObservabilityServer(HttpServer::Config cfg, MetricsRegistry& registry,
+                      TimeSeriesStore* store, HealthWatchdog* watchdog,
+                      StatusInfo info);
+
+  void start();
+  void stop();
+  [[nodiscard]] int port() const noexcept;
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+  /// Route one request — the handler behind the socket server, exposed so
+  /// tests and bench_overhead can price endpoints without a TCP round trip.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& req);
+
+ private:
+  [[nodiscard]] HttpResponse metrics_endpoint();
+  [[nodiscard]] HttpResponse healthz_endpoint();
+  [[nodiscard]] HttpResponse status_endpoint();
+  [[nodiscard]] HttpResponse series_endpoint(const HttpRequest& req);
+
+  MetricsRegistry& registry_;
+  TimeSeriesStore* store_;
+  HealthWatchdog* watchdog_;
+  StatusInfo info_;
+  double start_wall_s_ = 0.0;
+  std::unique_ptr<HttpServer> server_;
+};
+
+}  // namespace swt

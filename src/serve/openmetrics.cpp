@@ -1,0 +1,197 @@
+#include "serve/openmetrics.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+namespace swt {
+
+namespace {
+
+bool valid_metric_name(std::string_view s) {
+  if (s.empty()) return false;
+  const auto ok_first = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!ok_first(s[0])) return false;
+  for (const char c : s.substr(1))
+    if (!ok_first(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool parse_value(std::string_view s, double* out) {
+  if (s == "NaN" || s == "+Inf" || s == "-Inf") {
+    *out = s == "NaN" ? 0.0 : (s[0] == '+' ? 1e308 : -1e308);
+    return true;
+  }
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(s);
+  *out = std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Family a sample name belongs to: strip the exposition suffixes.
+std::string family_of(std::string_view sample_name) {
+  for (const std::string_view suffix : {"_total", "_bucket", "_sum", "_count"}) {
+    if (sample_name.size() > suffix.size() &&
+        sample_name.substr(sample_name.size() - suffix.size()) == suffix)
+      return std::string(sample_name.substr(0, sample_name.size() - suffix.size()));
+  }
+  return std::string(sample_name);
+}
+
+struct FamilyState {
+  std::string type;
+  bool saw_sample = false;
+  // Histogram bookkeeping:
+  double last_bucket_count = -1.0;
+  bool saw_inf_bucket = false;
+  long declared_line = 0;
+};
+
+}  // namespace
+
+OpenMetricsReport validate_openmetrics(std::string_view text) {
+  OpenMetricsReport report;
+  std::map<std::string, FamilyState> families;
+  const auto issue = [&report](long line, std::string msg) {
+    report.issues.push_back({line, std::move(msg)});
+  };
+
+  long line_no = 0;
+  bool saw_eof = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    const bool last_chunk = eol >= text.size();
+    pos = eol + 1;
+    if (line.empty() && last_chunk) break;
+    ++line_no;
+    if (saw_eof) {
+      issue(line_no, "content after # EOF");
+      break;
+    }
+    if (line.empty()) {
+      issue(line_no, "blank line (not allowed in OpenMetrics)");
+      continue;
+    }
+
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>" / "# HELP <name> <text>" / "# EOF"
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          issue(line_no, "malformed # TYPE line");
+          continue;
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string type(rest.substr(sp + 1));
+        if (!valid_metric_name(name)) issue(line_no, "invalid family name: " + name);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "unknown" && type != "info" &&
+            type != "stateset" && type != "gaugehistogram")
+          issue(line_no, "unknown metric type: " + type);
+        auto [it, inserted] = families.try_emplace(name);
+        if (!inserted && !it->second.type.empty())
+          issue(line_no, "duplicate # TYPE for family " + name + " (first at line " +
+                             std::to_string(it->second.declared_line) + ")");
+        it->second.type = type;
+        it->second.declared_line = line_no;
+        ++report.families;
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# UNIT ", 0) == 0) continue;
+      issue(line_no, "unrecognized comment line (only TYPE/HELP/UNIT/EOF)");
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' && line[name_end] != ' ')
+      ++name_end;
+    const std::string name(line.substr(0, name_end));
+    if (!valid_metric_name(name)) {
+      issue(line_no, "invalid metric name: " + name);
+      continue;
+    }
+    std::string le_label;
+    std::size_t value_start = name_end;
+    if (value_start < line.size() && line[value_start] == '{') {
+      const std::size_t close = line.find('}', value_start);
+      if (close == std::string_view::npos) {
+        issue(line_no, "unterminated label set");
+        continue;
+      }
+      const std::string_view labels = line.substr(value_start + 1, close - value_start - 1);
+      const std::size_t le = labels.find("le=\"");
+      if (le != std::string_view::npos) {
+        const std::size_t end_quote = labels.find('"', le + 4);
+        if (end_quote != std::string_view::npos)
+          le_label = std::string(labels.substr(le + 4, end_quote - le - 4));
+      }
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      issue(line_no, "missing value separator after metric name");
+      continue;
+    }
+    const std::string_view value_part = line.substr(value_start + 1);
+    const std::size_t value_end = value_part.find(' ');  // optional timestamp after
+    double value = 0.0;
+    if (!parse_value(value_part.substr(0, value_end), &value)) {
+      issue(line_no, "unparseable sample value: " + std::string(value_part));
+      continue;
+    }
+    ++report.samples;
+
+    const std::string family = family_of(name);
+    const auto it = families.find(family);
+    // A sample whose name carries no suffix may still belong to a suffix-less
+    // gauge family declared under the full name.
+    const auto direct = families.find(name);
+    FamilyState* fam = it != families.end()
+                           ? &it->second
+                           : (direct != families.end() ? &direct->second : nullptr);
+    if (fam == nullptr) {
+      issue(line_no, "sample without a preceding # TYPE: " + name);
+      continue;
+    }
+    fam->saw_sample = true;
+    if (fam->type == "counter") {
+      if (name.size() < 6 || name.compare(name.size() - 6, 6, "_total") != 0)
+        issue(line_no, "counter sample must end in _total: " + name);
+      if (value < 0.0) issue(line_no, "negative counter value: " + name);
+    } else if (fam->type == "histogram") {
+      if (name.size() > 7 && name.compare(name.size() - 7, 7, "_bucket") == 0) {
+        if (le_label.empty()) {
+          issue(line_no, "histogram bucket without le label: " + name);
+        } else {
+          if (value < fam->last_bucket_count)
+            issue(line_no, "non-cumulative bucket counts in " + family);
+          fam->last_bucket_count = value;
+          if (le_label == "+Inf") {
+            fam->saw_inf_bucket = true;
+            fam->last_bucket_count = -1.0;  // next histogram block starts fresh
+          }
+        }
+      }
+    }
+  }
+
+  if (!saw_eof) issue(0, "missing final # EOF line");
+  for (const auto& [name, fam] : families) {
+    if (fam.type == "histogram" && fam.saw_sample && !fam.saw_inf_bucket)
+      issue(0, "histogram " + name + " lacks a +Inf bucket");
+  }
+  return report;
+}
+
+}  // namespace swt

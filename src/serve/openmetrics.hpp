@@ -1,0 +1,35 @@
+// Small OpenMetrics text-format checker.
+//
+// The /metrics endpoint promises valid OpenMetrics exposition; this module
+// is the promise's enforcement — used by the `lint_openmetrics` example in
+// CI (scrape → lint → fail the job on drift) and by test_serve.  It checks
+// the grammar subset this codebase emits rather than the full spec:
+// metric-name syntax, `# TYPE` before samples, counter samples suffixed
+// `_total`, histogram `_bucket` series with cumulative counts and a +Inf
+// bucket, parseable values (including NaN/+Inf/-Inf), and the mandatory
+// final `# EOF`.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swt {
+
+struct OpenMetricsIssue {
+  long line = 0;  ///< 1-based; 0 = document-level issue
+  std::string message;
+};
+
+struct OpenMetricsReport {
+  std::vector<OpenMetricsIssue> issues;
+  long samples = 0;   ///< sample lines seen
+  long families = 0;  ///< # TYPE declarations seen
+
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+};
+
+/// Validate one exposition document.
+[[nodiscard]] OpenMetricsReport validate_openmetrics(std::string_view text);
+
+}  // namespace swt

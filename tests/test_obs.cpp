@@ -12,6 +12,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hpp"
@@ -106,6 +107,54 @@ TEST(MetricsConcurrency, GaugeAndHistogramAccumulateLosslessly) {
   EXPECT_EQ(h.count(), kTasks * kPerTask);
   EXPECT_DOUBLE_EQ(h.sum(), 1.5 * kTasks * kPerTask);
   EXPECT_EQ(h.bucket_counts()[1], kTasks * kPerTask);
+}
+
+// The concurrent-scrape contract (metrics.hpp): a reader that loads count()
+// and then bucket_counts() never sees a counted observation missing from
+// its bucket — sum(buckets) >= count — and successive scrapes are monotone.
+// 8 writers hammer one histogram while a reader scrapes flat out; run this
+// under TSan (-DSWT_SANITIZE=thread, label "sanitize") to also prove the
+// orderings are data-race-free, not merely tear-free.
+TEST(MetricsConcurrency, ScrapeUnderEightWritersSeesBucketsBeforeCount) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("stress.scrape", {0.25, 0.5, 0.75});
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 20000;
+
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kPerWriter; ++i)
+        h.observe(static_cast<double>((w * kPerWriter + i) % 100) / 100.0);
+      done.fetch_add(1, std::memory_order_release);
+    });
+
+  go.store(true, std::memory_order_release);
+  std::uint64_t last_count = 0;
+  long scrapes = 0;
+  while (done.load(std::memory_order_acquire) < kWriters) {
+    const std::uint64_t count = h.count();  // acquire: buckets now visible
+    const std::vector<std::uint64_t> buckets = h.bucket_counts();
+    std::uint64_t in_buckets = 0;
+    for (const std::uint64_t b : buckets) in_buckets += b;
+    ASSERT_GE(in_buckets, count) << "bucket increment published after count";
+    ASSERT_GE(count, last_count) << "scrape went backwards";
+    last_count = count;
+    ++scrapes;
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_GT(scrapes, 0);
+
+  // Full-registry snapshots racing the same writers must also be coherent.
+  const HistogramSnapshot snap = reg.snapshot().histograms.at("stress.scrape");
+  std::uint64_t in_buckets = 0;
+  for (const std::uint64_t b : snap.counts) in_buckets += b;
+  EXPECT_EQ(in_buckets, snap.count);
 }
 
 TEST(MetricsConcurrency, ConcurrentGetOrCreateReturnsOneInstrument) {
