@@ -19,6 +19,7 @@
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "tensor/kernels.hpp"
 
@@ -165,6 +166,31 @@ void gemm_scaling_study(bool smoke) {
   table.print(std::cout);
   std::cout << "(hardware threads on this host: "
             << std::max(1u, std::thread::hardware_concurrency()) << ")\n";
+
+  // Per-worker utilization of the pool during a max-thread burst: flat GF/s
+  // above shows *that* scaling stops; this table shows *why* — either the
+  // workers are busy but contending (busy share high, GF/s flat: memory
+  // bound) or they starve behind the inline chunk (idle share high:
+  // dispatch bound).  The submitting thread runs chunk 0 inline and is not
+  // a pool worker, so it has no row here.
+  print_banner(std::cout, "pool worker utilization (blocked nn, 256^3, max threads)");
+  ThreadPool& pool = ThreadPool::global();
+  k::set_compute_threads(8);
+  pool.reset_stats();
+  std::vector<float> c(ref.size());
+  for (int r = 0; r < reps; ++r)
+    k::gemm_nn(a.data(), b.data(), c.data(), s, s, s, false);
+  k::set_compute_threads(1);
+  const std::vector<ThreadStats> stats = pool.stats();
+  TableReport util({"pool worker", "busy s", "idle s", "busy share", "tasks"});
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const double wall = stats[i].busy_seconds + stats[i].idle_seconds;
+    util.add_row({std::to_string(i), TableReport::cell(stats[i].busy_seconds, 4),
+                  TableReport::cell(stats[i].idle_seconds, 4),
+                  TableReport::cell_pct(wall > 0.0 ? stats[i].busy_seconds / wall : 0.0),
+                  std::to_string(stats[i].tasks)});
+  }
+  util.print(std::cout);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,14 +2,18 @@
 // bench) and explain the weight-transfer dynamics — lineage depths,
 // parent-child score deltas, per-depth score means and checkpoint traffic.
 // JSON inputs are the observability layer's files instead: a span trace
-// (--trace-out) prints a per-phase virtual-time-share table, a metrics
-// snapshot (--metrics-out) prints its counters and histogram aggregates.
+// (--trace-out) prints a per-phase virtual-time-share table plus a
+// critical-path summary, a metrics snapshot (--metrics-out) prints its
+// counters and histogram aggregates.  Collapsed CPU profiles (--profile-out
+// or GET /profile) print their top-10 hottest stacks.
 //
 //   $ ./nas_cli --app cifar --mode lcs --evals 100 --out trace.csv
 //               --trace-out spans.json --metrics-out metrics.json
+//               --profile-out prof.collapsed
 //   $ ./analyze_trace trace.csv
 //   $ ./analyze_trace spans.json
 //   $ ./analyze_trace metrics.json
+//   $ ./analyze_trace prof.collapsed
 //
 // Without an argument the example runs a small NAS itself and analyses it.
 #include <algorithm>
@@ -27,6 +31,8 @@
 #include "exp/trace_io.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/critical_path.hpp"
+#include "obs/prof/sampler.hpp"
 #include "obs/series.hpp"
 #include "obs/span_tracer.hpp"
 
@@ -85,6 +91,66 @@ void analyze_span_json(const std::vector<TraceEvent>& events) {
   std::cout << "\nReading: the paper's \"low and scalable overhead\" claim holds when\n"
                "checkpoint (+stall) stays a small share next to train; a large idle\n"
                "share indicates the scheduler starves workers at this scale.\n";
+
+  // Critical-path summary: which chain of evaluations the makespan actually
+  // sits on, and what removing each cost class would be worth (full detail
+  // in the critical_path example).
+  const prof::CriticalPathInput input = prof::critical_path_input_from_events(events);
+  if (input.evals.empty()) return;
+  const prof::CriticalPathReport report = prof::analyze_critical_path(input);
+  print_banner(std::cout, "critical path");
+  std::cout << report.path.size() << " evaluations on the path, "
+            << TableReport::cell(report.path_seconds, 2) << " virtual s, "
+            << TableReport::cell(report.path_wait_seconds, 2)
+            << " s scheduler wait between them\n\n";
+  TableReport what_if({"what-if", "removes", "est. speedup"});
+  for (const prof::WhatIf& w : report.what_ifs)
+    what_if.add_row({w.name, TableReport::cell(w.removed_seconds, 2) + " s",
+                     TableReport::cell(w.est_speedup, 3) + "x"});
+  what_if.print(std::cout);
+}
+
+/// Collapsed CPU profile (nas_cli --profile-out / GET /profile): the top-10
+/// hottest stacks by sample count, leaf frame first — "where did the wall
+/// clock actually go?" at a glance, without leaving the terminal.
+void analyze_collapsed(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const prof::SymbolizedProfile prof = prof::parse_collapsed(in);
+  if (prof.stacks.empty()) {
+    std::cout << "No samples in " << path << ".\n";
+    return;
+  }
+  std::uint64_t total = 0;
+  for (const auto& [frames, count] : prof.stacks) total += count;
+
+  print_banner(std::cout, "top-10 hottest stacks (" + std::to_string(total) +
+                              " samples)");
+  std::vector<std::pair<std::vector<std::string>, std::uint64_t>> stacks = prof.stacks;
+  std::stable_sort(stacks.begin(), stacks.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (stacks.size() > 10) stacks.resize(10);
+  const auto shorten = [](std::string s) {
+    // Strip template/argument noise so the table stays one line per stack.
+    const auto paren = s.find('(');
+    if (paren != std::string::npos) s.resize(paren);
+    const auto angle = s.find('<');
+    if (angle != std::string::npos) s.resize(angle);
+    if (s.size() > 56) s = s.substr(0, 53) + "...";
+    return s;
+  };
+  TableReport table({"samples", "share", "depth", "leaf frame"});
+  for (const auto& [frames, count] : stacks)
+    table.add_row({std::to_string(count),
+                   TableReport::cell_pct(static_cast<double>(count) /
+                                         static_cast<double>(total)),
+                   std::to_string(frames.size()),
+                   frames.empty() ? "?" : shorten(frames.back())});
+  table.print(std::cout);
+  std::cout << "\nReading: kernel frames (swt::kernels::*) dominating is healthy —\n"
+               "the simulator is compute-bound; allocator or checkpoint frames at\n"
+               "the top are the optimization targets.  Feed the same file to\n"
+               "flamegraph.pl or speedscope.app for the interactive view.\n";
 }
 
 void analyze_metrics_json(const JsonValue& doc) {
@@ -210,13 +276,23 @@ int main(int argc, char** argv) try {
       analyze_json(path);
       return 0;
     }
-    // CSV dispatch by header: the telemetry sampler's series files start
-    // with "series,wall_s,..." while candidate traces start with "id,...".
+    // Non-JSON dispatch by content: the telemetry sampler's series files
+    // start with "series,wall_s,...", candidate traces with "id,..." (after
+    // a '#' summary line), collapsed CPU profiles with the "# swtnas cpu
+    // profile" header (or, for external files, a ".collapsed" suffix).
     {
       std::ifstream sniff(path);
       std::string header;
-      if (sniff && std::getline(sniff, header) && header.rfind("series,", 0) == 0) {
+      const bool have_header = sniff && !!std::getline(sniff, header);
+      if (have_header && header.rfind("series,", 0) == 0) {
         analyze_series_csv(path);
+        return 0;
+      }
+      const bool collapsed_ext =
+          path.size() >= 10 && path.compare(path.size() - 10, 10, ".collapsed") == 0;
+      if (collapsed_ext ||
+          (have_header && header.rfind("# swtnas cpu profile", 0) == 0)) {
+        analyze_collapsed(path);
         return 0;
       }
     }

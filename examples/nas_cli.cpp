@@ -33,6 +33,7 @@
 #include "obs/events.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/sampler.hpp"
 #include "obs/series.hpp"
 #include "obs/span_tracer.hpp"
 #include "serve/obs_server.hpp"
@@ -58,6 +59,7 @@ using namespace swt;
                "       [--run-dir DIR] [--resume] [--crash-after-evals N]\n"
                "       [--no-journal-fsync]\n"
                "       [--serve-port P] [--sample-interval-ms M] [--series-out F]\n"
+               "       [--profile-out F.collapsed|F.json] [--profile-hz N]\n"
                "       [--stall-after-s S] [--inject-stall-after N] [--inject-stall-s S]\n"
                "\n"
                "live telemetry plane (all off by default; see DESIGN.md s10):\n"
@@ -215,6 +217,8 @@ int main(int argc, char** argv) try {
   std::string events_out;
   std::string registry_dir;
   std::string series_out;
+  std::string profile_out;
+  int profile_hz = 0;  // 0 = off unless --profile-out is given (then 97)
   bool progress = false;
   int serve_port = -1;  // -1 = no server; 0 = ephemeral
   long sample_interval_ms = 250;
@@ -301,6 +305,8 @@ int main(int argc, char** argv) try {
     else if (arg == "--serve-port") serve_port = std::stoi(next());
     else if (arg == "--sample-interval-ms") sample_interval_ms = std::stol(next());
     else if (arg == "--series-out") series_out = next();
+    else if (arg == "--profile-out") profile_out = next();
+    else if (arg == "--profile-hz") profile_hz = std::stoi(next());
     else if (arg == "--stall-after-s") stall_after_s = std::stod(next());
     else if (arg == "--inject-stall-after") {
       cfg.cluster.faults.stall_after_evals = std::stol(next());
@@ -374,7 +380,44 @@ int main(int argc, char** argv) try {
               app.name, std::string(to_string(cfg.mode)), cfg.n_evals});
       server->start();
       std::cout << "telemetry: http://127.0.0.1:" << server->port()
-                << " (/metrics /healthz /status /series)\n";
+                << " (/metrics /healthz /status /series /profile /criticalpath)\n";
+    }
+  }
+
+  // Sampling CPU profiler: wall-clock-only instrumentation; the virtual
+  // timeline and search RNG never see it (profiled and plain runs produce
+  // byte-identical trace CSVs — CI cmp-gates this).
+  const bool profiling_on = !profile_out.empty() || profile_hz > 0;
+  const auto write_profile = [&] {
+    if (profile_out.empty()) return;
+    const prof::SymbolizedProfile sym =
+        prof::symbolize(prof::CpuProfiler::global().snapshot());
+    std::ofstream out(profile_out, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + profile_out);
+    if (profile_out.size() >= 5 &&
+        profile_out.compare(profile_out.size() - 5, 5, ".json") == 0) {
+      prof::write_speedscope_json(out, sym, "nas_cli");
+    } else {
+      // Same self-describing header the /profile endpoint serves, so one
+      // sniffer (analyze_trace, CI greps) handles both sources.
+      out << "# swtnas cpu profile (collapsed stacks)\n"
+          << "# hz " << prof::CpuProfiler::global().hz() << "\n"
+          << "# samples " << sym.total_samples << "\n"
+          << "# dropped " << sym.dropped_samples << "\n"
+          << prof::to_collapsed(sym);
+    }
+  };
+  if (profiling_on) {
+    prof::register_current_thread("main");
+    prof::ProfilerConfig prof_cfg;
+    prof_cfg.hz = profile_hz > 0 ? profile_hz : 97;
+    if (prof::CpuProfiler::global().start(prof_cfg)) {
+      std::cout << "profiler: sampling registered threads at "
+                << prof::CpuProfiler::global().hz() << " Hz\n";
+      if (server != nullptr) server->set_profiler(&prof::CpuProfiler::global());
+    } else {
+      std::cerr << "warning: profiler unavailable: "
+                << prof::CpuProfiler::global().last_error() << "\n";
     }
   }
 
@@ -400,6 +443,10 @@ int main(int argc, char** argv) try {
     }
     if (!trace_out.empty())
       write_trace_json(trace_out, SpanTracer::global().events());
+    if (profiling_on) {
+      prof::CpuProfiler::global().stop();
+      write_profile();
+    }
     if (server != nullptr) server->stop();
     std::cerr << "\n[nas] interrupted; telemetry flushed\n";
   });
@@ -410,6 +457,7 @@ int main(int argc, char** argv) try {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   if (progress) meter.finish();
+  if (profiling_on) prof::CpuProfiler::global().stop();
   if (sampler != nullptr) {
     sampler->stop();
     sampler->tick();  // capture the end-of-run gauge values
@@ -470,6 +518,13 @@ int main(int argc, char** argv) try {
     write_trace_json(trace_out, SpanTracer::global().events());
     std::cout << "span trace written to " << trace_out
               << " (load in Perfetto or chrome://tracing)\n";
+  }
+  if (!profile_out.empty()) {
+    write_profile();
+    const prof::StackProfile raw = prof::CpuProfiler::global().snapshot();
+    std::cout << "cpu profile written to " << profile_out << " (" << raw.total_samples
+              << " samples, " << raw.dropped_samples << " dropped; feed to "
+              << "flamegraph.pl or speedscope.app)\n";
   }
   if (!events_out.empty()) {
     std::cout << bus.total_emitted() << " events ("

@@ -1,16 +1,40 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/prof/sampler.hpp"
+
 namespace swt {
 
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Atomic accumulate onto a per-worker stat (single writer; readers relaxed).
+void stat_add(std::atomic<double>& a, double delta) {
+  a.store(a.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
+  // Workers update the process metrics registry until shutdown; touching it
+  // here makes the registry's function-local static construct first, hence
+  // destruct after any static pool.
+  (void)metrics();
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  stats_ = std::make_unique<WorkerStat[]>(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -48,22 +72,55 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+std::vector<ThreadStats> ThreadPool::stats() const {
+  std::vector<ThreadStats> out(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    out[i].busy_seconds = stats_[i].busy.load(std::memory_order_relaxed);
+    out[i].idle_seconds = stats_[i].idle.load(std::memory_order_relaxed);
+    out[i].tasks = stats_[i].tasks.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ThreadPool::reset_stats() {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    stats_[i].busy.store(0.0, std::memory_order_relaxed);
+    stats_[i].idle.store(0.0, std::memory_order_relaxed);
+    stats_[i].tasks.store(0, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  // Pool workers are where the compute happens: register them with the
+  // sampling profiler (no-op cost when it is not running).
+  const prof::ScopedProfiledThread profiled("pool-worker");
+  WorkerStat& stat = stats_[index];
+  Gauge& busy_gauge = metrics().gauge("pool.busy_seconds");
+  Gauge& idle_gauge = metrics().gauge("pool.idle_seconds");
   for (;;) {
     std::function<void()> task;
     {
+      const double wait_begin = steady_seconds();
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const double waited = steady_seconds() - wait_begin;
+      stat_add(stat.idle, waited);
+      idle_gauge.add(waited);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const double task_begin = steady_seconds();
     try {
       task();
     } catch (...) {
       std::scoped_lock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    const double ran = steady_seconds() - task_begin;
+    stat_add(stat.busy, ran);
+    stat.tasks.fetch_add(1, std::memory_order_relaxed);
+    busy_gauge.add(ran);
     {
       std::scoped_lock lock(mutex_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -16,16 +16,29 @@
 // loop would have surfaced.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace swt {
+
+/// Per-worker utilization, read via ThreadPool::stats().  busy is wall time
+/// inside tasks, idle is wall time blocked on the task queue — together
+/// they make load imbalance (one hot worker, N-1 waiters) directly visible
+/// in bench_gemm and on /metrics (pool.busy_seconds / pool.idle_seconds).
+struct ThreadStats {
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  std::uint64_t tasks = 0;
+};
 
 class ThreadPool {
  public:
@@ -55,10 +68,22 @@ class ThreadPool {
   /// Process-wide pool, sized to the hardware.
   static ThreadPool& global();
 
+  /// One entry per worker; each worker owns its entry (relaxed reads may
+  /// lag in-flight work by one task).
+  [[nodiscard]] std::vector<ThreadStats> stats() const;
+  void reset_stats();
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
+
+  struct alignas(64) WorkerStat {
+    std::atomic<double> busy{0.0};
+    std::atomic<double> idle{0.0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerStat[]> stats_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;

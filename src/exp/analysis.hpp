@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/virtual_cluster.hpp"
+#include "obs/prof/critical_path.hpp"
 
 namespace swt {
 
@@ -58,5 +59,13 @@ struct ParetoPoint {
 /// Non-dominated set maximising score and minimising parameter count,
 /// deduplicated by architecture and sorted by ascending parameter count.
 [[nodiscard]] std::vector<ParetoPoint> pareto_front(const Trace& trace);
+
+/// Critical-path input rebuilt from a trace (CSV or in-memory).  The
+/// per-phase decomposition mirrors the virtual cluster's span emission
+/// (stall -> ckpt read -> transfer -> train -> ckpt write -> ckpt retry);
+/// per-fault intervals are not recorded in the CSV schema, so the faults
+/// list is empty here — use the span-trace builder when fault attribution
+/// matters.
+[[nodiscard]] prof::CriticalPathInput critical_path_input(const Trace& trace);
 
 }  // namespace swt

@@ -1,10 +1,15 @@
 #include "serve/obs_server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/critical_path.hpp"
+#include "obs/prof/sampler.hpp"
 #include "obs/series.hpp"
 #include "obs/span_tracer.hpp"
 
@@ -34,13 +39,17 @@ HttpResponse ObservabilityServer::handle(const HttpRequest& req) {
   if (req.path == "/healthz") return healthz_endpoint();
   if (req.path == "/status") return status_endpoint();
   if (req.path == "/series") return series_endpoint(req);
+  if (req.path == "/profile") return profile_endpoint(req);
+  if (req.path == "/criticalpath") return criticalpath_endpoint();
   if (req.path == "/")
     return HttpResponse{200, "text/plain; charset=utf-8",
                         "swtnas telemetry plane\n"
                         "  GET /metrics  OpenMetrics exposition\n"
                         "  GET /healthz  liveness (503 on stall)\n"
                         "  GET /status   run status JSON\n"
-                        "  GET /series?name=...&max_points=N[&format=csv]\n"};
+                        "  GET /series?name=...&max_points=N[&format=csv]\n"
+                        "  GET /profile?seconds=N  collapsed CPU stacks\n"
+                        "  GET /criticalpath  critical-path analysis JSON\n"};
   return HttpResponse{404, "text/plain; charset=utf-8", "no such endpoint\n"};
 }
 
@@ -148,6 +157,58 @@ HttpResponse ObservabilityServer::series_endpoint(const HttpRequest& req) {
   }
   return HttpResponse{200, "application/json",
                       series_to_json(name, pts, store_->total_appended(name)) + "\n"};
+}
+
+HttpResponse ObservabilityServer::profile_endpoint(const HttpRequest& req) {
+  if (profiler_ == nullptr || !profiler_->running())
+    return HttpResponse{503, "text/plain; charset=utf-8",
+                        "profiler not running (start nas_cli with --profile-hz "
+                        "or --profile-out)\n"};
+  double seconds = 0.0;
+  const auto it = req.query.find("seconds");
+  if (it != req.query.end()) {
+    try {
+      seconds = std::stod(it->second);
+    } catch (const std::exception&) {
+      return HttpResponse{400, "text/plain; charset=utf-8", "bad seconds\n"};
+    }
+  }
+  seconds = std::clamp(seconds, 0.0, 30.0);
+
+  prof::StackProfile window;
+  if (seconds > 0.0) {
+    // Window diff: two cumulative snapshots around a wall-clock sleep.
+    // This blocks only the serving thread; sampling continues unperturbed.
+    const prof::StackProfile before = profiler_->snapshot();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    window = profiler_->snapshot();
+    window.subtract(before);
+  } else {
+    window = profiler_->snapshot();
+  }
+  const prof::SymbolizedProfile sym = prof::symbolize(window);
+  std::string body = "# swtnas cpu profile (collapsed stacks)\n# hz " +
+                     std::to_string(profiler_->hz()) + "\n# window_s " +
+                     json_number(seconds) + "\n# samples " +
+                     std::to_string(sym.total_samples) + "\n# dropped " +
+                     std::to_string(sym.dropped_samples) + "\n";
+  body += prof::to_collapsed(sym);
+  return HttpResponse{200, "text/plain; charset=utf-8", std::move(body)};
+}
+
+HttpResponse ObservabilityServer::criticalpath_endpoint() {
+  SpanTracer& tracer = SpanTracer::global();
+  if (!tracer.enabled())
+    return HttpResponse{503, "text/plain; charset=utf-8",
+                        "span tracing off (start nas_cli with --trace-out)\n"};
+  const prof::CriticalPathInput input =
+      prof::critical_path_input_from_events(tracer.events());
+  if (input.evals.empty())
+    return HttpResponse{503, "text/plain; charset=utf-8",
+                        "no completed evaluations in the span trace yet\n"};
+  const prof::CriticalPathReport report = prof::analyze_critical_path(input);
+  return HttpResponse{200, "application/json",
+                      prof::critical_path_json(report) + "\n"};
 }
 
 }  // namespace swt

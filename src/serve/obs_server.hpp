@@ -10,6 +10,11 @@
 //                  publishes and the watchdog's event-derived worker table
 //   GET /series    ?name=<series>[&max_points=N][&format=csv] from the
 //                  TimeSeriesStore; without ?name, lists available series
+//   GET /profile   ?seconds=N collapsed-stack CPU profile (N=0 or absent:
+//                  cumulative since start; N>0: sample for a window).  503
+//                  when no profiler is attached or it is not running
+//   GET /criticalpath  critical-path analysis JSON rebuilt from the live
+//                  span tracer; 503 when tracing is off or has no evals
 //
 // Every handler is a pure reader of thread-safe telemetry state; requests
 // can race a live search freely (test_serve hammers exactly that).
@@ -25,6 +30,10 @@ namespace swt {
 class HealthWatchdog;
 class MetricsRegistry;
 class TimeSeriesStore;
+
+namespace prof {
+class CpuProfiler;
+}
 
 class ObservabilityServer {
  public:
@@ -42,6 +51,10 @@ class ObservabilityServer {
                       TimeSeriesStore* store, HealthWatchdog* watchdog,
                       StatusInfo info);
 
+  /// Attach the sampling profiler behind GET /profile (null detaches; the
+  /// endpoint then answers 503).  The profiler must outlive the server.
+  void set_profiler(prof::CpuProfiler* profiler) { profiler_ = profiler; }
+
   void start();
   void stop();
   [[nodiscard]] int port() const noexcept;
@@ -56,10 +69,13 @@ class ObservabilityServer {
   [[nodiscard]] HttpResponse healthz_endpoint();
   [[nodiscard]] HttpResponse status_endpoint();
   [[nodiscard]] HttpResponse series_endpoint(const HttpRequest& req);
+  [[nodiscard]] HttpResponse profile_endpoint(const HttpRequest& req);
+  [[nodiscard]] HttpResponse criticalpath_endpoint();
 
   MetricsRegistry& registry_;
   TimeSeriesStore* store_;
   HealthWatchdog* watchdog_;
+  prof::CpuProfiler* profiler_ = nullptr;
   StatusInfo info_;
   double start_wall_s_ = 0.0;
   std::unique_ptr<HttpServer> server_;

@@ -12,6 +12,9 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/counters.hpp"
+#include "obs/prof/sampler.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace swt::kernels {
 namespace {
@@ -103,15 +106,47 @@ void record_conv(double seconds, int64_t flops) noexcept {
 }
 
 /// Times `fn` into the given recorder only when metrics are on (two clock
-/// reads per kernel call, skipped entirely otherwise).
+/// reads per kernel call, skipped entirely otherwise).  Kernels big enough
+/// to parallelize additionally bracket the call with the calling thread's
+/// resource counters so achieved GF/s and IPC per phase surface as prof.*
+/// gauges; small kernels keep the historical two-clock-read path so the
+/// bench_overhead gate is unaffected by thousands of tiny calls per second.
+/// FLOP-annotated wall spans are emitted only while the sampling profiler
+/// is live — a plain --trace-out run produces exactly the spans it used to.
 template <typename Fn, typename Rec>
-inline void timed(int64_t flops, Rec rec, Fn&& fn) {
-  if (metrics_enabled()) {
+inline void timed(int64_t flops, Rec rec, prof::Phase phase, Fn&& fn) {
+  if (!metrics_enabled()) {
+    fn();
+    return;
+  }
+  if (flops < kParallelFlopThreshold) {
     const WallTimer timer;
     fn();
     rec(timer.seconds(), flops);
-  } else {
-    fn();
+    return;
+  }
+  prof::ThreadCounters& counters = prof::ThreadCounters::this_thread();
+  const prof::CounterSample before = counters.read();
+  const WallTimer timer;
+  fn();
+  const double seconds = timer.seconds();
+  const prof::CounterSample after = counters.read();
+  rec(seconds, flops);
+  const prof::CounterSample delta = after.delta(before);
+  prof::record_phase(phase, seconds, flops, delta);
+  SpanTracer& tracer = SpanTracer::global();
+  if (tracer.enabled() && prof::CpuProfiler::global().running()) {
+    const double dur_us = seconds * 1e6;
+    std::vector<std::pair<std::string, std::string>> args{
+        {"flops", std::to_string(flops)},
+        {"gflops", std::to_string(seconds > 0.0 ? flops / seconds / 1e9 : 0.0)},
+        {"cpu_s", std::to_string(delta.cpu_seconds)}};
+    if (delta.hardware && delta.cycles > 0)
+      args.emplace_back("ipc", std::to_string(static_cast<double>(delta.instructions) /
+                                              static_cast<double>(delta.cycles)));
+    tracer.complete(phase == prof::Phase::kGemm ? "gemm" : "conv", "kernel",
+                    kTraceWallPid, SpanTracer::this_thread_tid(),
+                    SpanTracer::wall_now_us() - dur_us, dur_us, std::move(args));
   }
 }
 
@@ -445,7 +480,7 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n, int
              bool accumulate) {
   if (m <= 0 || n <= 0) return;
   const int64_t flops = 2 * m * n * k;
-  timed(flops, record_matmul, [&] {
+  timed(flops, record_matmul, prof::Phase::kGemm, [&] {
     parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
       gemm_n_rows<false>(a, k, b, c, lo, hi, n, k, accumulate);
     });
@@ -456,7 +491,7 @@ void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t n, int
              bool accumulate) {
   if (m <= 0 || n <= 0) return;
   const int64_t flops = 2 * m * n * k;
-  timed(flops, record_matmul, [&] {
+  timed(flops, record_matmul, prof::Phase::kGemm, [&] {
     parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
       gemm_n_rows<true>(a, m, b, c, lo, hi, n, k, accumulate);
     });
@@ -467,7 +502,7 @@ void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n, int
              bool accumulate) {
   if (m <= 0 || n <= 0) return;
   const int64_t flops = 2 * m * n * k;
-  timed(flops, record_matmul, [&] {
+  timed(flops, record_matmul, prof::Phase::kGemm, [&] {
     parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
       gemm_t_rows(a, b, c, lo, hi, n, k, accumulate);
     });
@@ -504,7 +539,7 @@ void conv_forward(const float* x, const float* w, const float* bias, float* y,
                   const ConvGeom& g) {
   const int64_t rows = g.patch_rows();
   if (rows <= 0 || g.cout <= 0) return;
-  timed(g.flops(), record_conv, [&] {
+  timed(g.flops(), record_conv, prof::Phase::kConv, [&] {
     std::vector<float>& col = scratch(0, static_cast<std::size_t>(rows * g.patch_cols()));
     im2col(x, col.data(), g);
     // Bias heads each output element's accumulation chain, exactly like the
@@ -524,7 +559,7 @@ void conv_backward(const float* x, const float* w, const float* dy, float* dx,
                    float* dw, float* db, const ConvGeom& g) {
   const int64_t rows = g.patch_rows();
   if (rows <= 0 || g.cout <= 0) return;
-  timed(3 * g.flops(), record_conv, [&] {
+  timed(3 * g.flops(), record_conv, prof::Phase::kConv, [&] {
     const int64_t r_cols = g.patch_cols();
     std::vector<float>& col = scratch(0, static_cast<std::size_t>(rows * r_cols));
     im2col(x, col.data(), g);

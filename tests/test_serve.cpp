@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,7 +26,10 @@
 #include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/critical_path.hpp"
+#include "obs/prof/sampler.hpp"
 #include "obs/series.hpp"
+#include "obs/span_tracer.hpp"
 #include "serve/obs_server.hpp"
 #include "serve/openmetrics.hpp"
 
@@ -340,6 +344,85 @@ TEST(OpenMetricsLint, CatchesTheClassicMistakes) {
   EXPECT_FALSE(validate_openmetrics("# EOF\nafter 1\n").ok())
       << "content after EOF";
   EXPECT_FALSE(validate_openmetrics("\n# EOF\n").ok()) << "blank line";
+}
+
+// ------------------------------------ performance-attribution endpoints
+
+TEST(ObservabilityServer, ProfileEndpointGates503UntilProfilerRuns) {
+  MetricsRegistry reg;
+  ObservabilityServer server({}, reg, nullptr, nullptr, {"r", "mnist", "lcs", 1});
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/profile";
+  // No profiler attached at all.
+  EXPECT_EQ(server.handle(req).status, 503);
+
+  // Attached but not running: still 503.
+  prof::CpuProfiler& profiler = prof::CpuProfiler::global();
+  server.set_profiler(&profiler);
+  if (profiler.running()) profiler.stop();
+  EXPECT_EQ(server.handle(req).status, 503);
+
+  profiler.reset();
+  if (!profiler.start(prof::ProfilerConfig{997}))
+    GTEST_SKIP() << "per-thread CPU timers unavailable: " << profiler.last_error();
+  // Burn CPU so the cumulative snapshot has something in it.
+  volatile double x = 1.0;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  while (std::chrono::steady_clock::now() < until)
+    for (int i = 0; i < 4096; ++i) x = x * 1.000001 + 1e-9;
+
+  req.query["seconds"] = "not-a-number";
+  EXPECT_EQ(server.handle(req).status, 400);
+  req.query["seconds"] = "0";
+  const HttpResponse resp = server.handle(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("# swtnas cpu profile"), std::string::npos);
+  EXPECT_NE(resp.body.find("# hz 997"), std::string::npos);
+  // The body round-trips through the collapsed parser ('#' lines skipped).
+  std::istringstream in(resp.body);
+  const prof::SymbolizedProfile parsed = prof::parse_collapsed(in);
+  EXPECT_GT(parsed.total_samples, 0u);
+  profiler.stop();
+  profiler.reset();
+}
+
+TEST(ObservabilityServer, CriticalPathEndpointGates503UntilSpansExist) {
+  MetricsRegistry reg;
+  ObservabilityServer server({}, reg, nullptr, nullptr, {"r", "mnist", "lcs", 1});
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/criticalpath";
+
+  SpanTracer& tracer = SpanTracer::global();
+  tracer.set_enabled(false);
+  EXPECT_EQ(server.handle(req).status, 503) << "tracer off must 503";
+
+  tracer.set_enabled(true);
+  tracer.clear();
+  EXPECT_EQ(server.handle(req).status, 503) << "no eval spans yet must 503";
+
+  // Run a tiny deterministic search so the live tracer holds real spans.
+  AppConfig app = make_app(AppId::kMnist, 11);
+  NasRunConfig cfg;
+  cfg.mode = TransferMode::kLCS;
+  cfg.n_evals = 6;
+  cfg.seed = 11;
+  cfg.cluster.num_workers = 2;
+  cfg.cluster.fixed_train_seconds = 1.0;
+  (void)run_nas(app, cfg);
+
+  const HttpResponse resp = server.handle(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type, "application/json");
+  const JsonValue doc = parse_json(resp.body);
+  EXPECT_EQ(doc.at("workers").number, 2.0);
+  EXPECT_GT(doc.at("critical_path").at("nodes").array.size(), 0u);
+  // The share-sum acceptance gate, live over HTTP: 100% +- 1%.
+  EXPECT_NEAR(doc.at("share_sum").number, 1.0, 0.01);
+  tracer.set_enabled(false);
+  tracer.clear();
 }
 
 // ------------------------------------------- scrapes racing a live search
