@@ -103,7 +103,7 @@ using namespace swt;
                "                      (diff runs with compare_runs)\n"
                "  --fixed-train-seconds S  charge every epoch S virtual seconds instead of\n"
                "                      measured wall time (makes runs bit-reproducible)\n"
-               "  --compute-threads N  row partitions for the blocked GEMM/conv kernels\n"
+               "  --compute-threads N  output-tile owners for the blocked GEMM/conv kernels\n"
                "                      (default: SWT_THREADS env, else hardware threads;\n"
                "                      results are bit-identical for every value)\n"
                "  --eval-parallelism N train up to N same-instant evaluations on real\n"
@@ -278,7 +278,17 @@ int main(int argc, char** argv) try {
     else if (arg == "--registry-dir") registry_dir = next();
     else if (arg == "--progress") progress = true;
     else if (arg == "--fixed-train-seconds") cfg.cluster.fixed_train_seconds = std::stod(next());
-    else if (arg == "--compute-threads") kernels::set_compute_threads(std::stoi(next()));
+    else if (arg == "--compute-threads") {
+      std::string reason;
+      const std::string text = next();
+      const int n = kernels::parse_thread_count(text.c_str(), 0, &reason);
+      if (n == 0) {
+        std::cerr << "--compute-threads " << text << ": " << reason << "\n";
+        usage(argv[0]);
+      }
+      if (!reason.empty()) log_warn("--compute-threads ", text, ": ", reason);
+      kernels::set_compute_threads(n);
+    }
     else if (arg == "--eval-parallelism") cfg.cluster.eval_parallelism = std::stoi(next());
     else if (arg == "--log-level") {
       const auto level = parse_log_level(next());

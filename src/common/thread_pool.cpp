@@ -128,6 +128,63 @@ void ThreadPool::worker_loop(std::size_t index) {
   }
 }
 
+void parallel_tiles(std::int64_t count, int parts,
+                    const std::function<void(int, std::int64_t, std::int64_t)>& body,
+                    ThreadPool* pool) {
+  if (count <= 0) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  const std::int64_t nparts =
+      std::clamp<std::int64_t>(parts, 1, count);
+  {
+    static Counter& tiles_c = metrics().counter("pool.tiles_total");
+    static Counter& ranges_c = metrics().counter("pool.tile_ranges_total");
+    tiles_c.add(count);
+    ranges_c.add(nparts);
+  }
+  const auto range_lo = [count, nparts](std::int64_t p) {
+    return p * count / nparts;
+  };
+  if (nparts == 1) {
+    body(0, 0, count);
+    return;
+  }
+  // Private join latch: ThreadPool::wait_idle() would also wait for (and
+  // steal errors from) unrelated submissions; this dispatch joins only its
+  // own ranges.  Exceptions are collected per part so the latch always
+  // reaches zero and the *lowest part index* wins deterministically.
+  struct Join {
+    std::mutex m;
+    std::condition_variable cv;
+    std::int64_t remaining;
+  } join{{}, {}, nparts - 1};
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nparts));
+  for (std::int64_t p = 1; p < nparts; ++p) {
+    const std::int64_t lo = range_lo(p);
+    const std::int64_t hi = range_lo(p + 1);
+    pool->submit([&join, &body, &errors, p, lo, hi] {
+      try {
+        body(static_cast<int>(p), lo, hi);
+      } catch (...) {
+        errors[static_cast<std::size_t>(p)] = std::current_exception();
+      }
+      const std::scoped_lock lock(join.m);
+      if (--join.remaining == 0) join.cv.notify_one();
+    });
+  }
+  try {
+    body(0, 0, range_lo(1));
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  {
+    std::unique_lock lock(join.m);
+    join.cv.wait(lock, [&join] { return join.remaining == 0; });
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool) {
   if (n == 0) return;

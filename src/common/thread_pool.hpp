@@ -99,4 +99,33 @@ class ThreadPool {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool = nullptr);
 
+/// Static owner-computes dispatch over a tile range: [0, count) is split into
+/// at most `parts` contiguous ranges (the balanced `p*count/parts` cut, so
+/// range sizes differ by at most one tile) and `body(part, lo, hi)` runs once
+/// per non-empty range.  Part 0 executes inline on the calling thread; parts
+/// 1.. are submitted to `pool` (default: the global pool) and joined on a
+/// private latch, so the call never waits on unrelated submissions and
+/// returns only after every range — and all of its writes — are visible to
+/// the caller.
+///
+/// The partition is a pure function of (count, parts): callers that key work
+/// off the tile index get a deterministic owner per tile, independent of
+/// worker scheduling — the property the kernel layer's bit-reproducibility
+/// across thread counts rests on.
+///
+/// Error contract: a throwing range does not leak the latch — remaining
+/// ranges still run, and the lowest-part-index exception is rethrown here
+/// (deterministic "first error wins", unlike submission-order races).
+///
+/// Observability: each dispatch adds `count` to `pool.tiles_total` and the
+/// number of ranges to `pool.tile_ranges_total`, alongside the existing
+/// pool.busy_seconds / pool.idle_seconds worker gauges.
+///
+/// Must not be called from inside a task of the same pool: the inline part
+/// would be fine but submitted parts could deadlock behind their own caller.
+/// (The kernel layer guards this with its nested-dispatch flag.)
+void parallel_tiles(std::int64_t count, int parts,
+                    const std::function<void(int, std::int64_t, std::int64_t)>& body,
+                    ThreadPool* pool = nullptr);
+
 }  // namespace swt

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <cerrno>
 #include <cstdlib>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
@@ -22,65 +22,94 @@ namespace {
 using std::int64_t;
 
 // ---------------------------------------------------------------------------
-// Threading knob + parallel row driver
+// Threading knob + 2-D tile dispatch
 // ---------------------------------------------------------------------------
 
 int hardware_threads() noexcept {
   return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 }
 
-int threads_from_env() noexcept {
+int threads_from_env() {
   const char* v = std::getenv("SWT_THREADS");
-  if (v != nullptr && *v != '\0') {
-    const long n = std::atol(v);
-    if (n > 0) return static_cast<int>(std::min<long>(n, 1024));
-  }
-  return hardware_threads();
+  const int hw = hardware_threads();
+  if (v == nullptr) return hw;
+  std::string reason;
+  const int n = parse_thread_count(v, hw, &reason);
+  if (!reason.empty())
+    log_warn("SWT_THREADS=\"", v, "\": ", reason, "; using ", n,
+             " compute thread(s)");
+  return n;
 }
 
 std::atomic<int> g_compute_threads{0};  // 0 = resolve from env on first use
 
-/// Set inside pool-executed chunks: a kernel invoked from a compute chunk
-/// must not re-enter the pool — its caller is already occupying a worker
-/// and blocking on the join.
+/// Set inside pool-executed tile ranges: a kernel invoked from a compute
+/// range must not re-enter the pool — its caller is already occupying a
+/// worker and blocking on the join.
 thread_local bool tl_in_compute_chunk = false;
 
-/// Run body(lo, hi) over a partition of [0, rows).  Each row's value is
-/// independent of the partition, so every thread count is bit-identical.
-/// Falls back to one serial call when threading cannot pay for itself.
-void parallel_rows(int64_t rows, double flops,
-                   const std::function<void(int64_t, int64_t)>& body) {
-  if (rows <= 0) return;
+/// Per-worker resource-counter deltas of the most recent parallel dispatches
+/// issued by this thread, folded back on the caller after the join so phase
+/// attribution (prof.gemm.* / prof.conv.*) counts every thread that did
+/// work.  `count == 0` means "no remote work measured" — the sum must then
+/// be ignored, not added (its zero `hardware` flag would otherwise clear the
+/// caller's).
+struct RemoteCounters {
+  prof::CounterSample sum;
+  int count = 0;
+
+  void fold(const prof::CounterSample& delta) {
+    if (count == 0)
+      sum = delta;
+    else
+      sum.add(delta);
+    ++count;
+  }
+};
+thread_local RemoteCounters tl_remote;
+
+/// Run body(lo, hi) over a deterministic static partition of the tile range
+/// [0, tiles).  Each tile has exactly one owner (owner-computes), and a
+/// tile's result is independent of the partition, so every thread count is
+/// bit-identical.  Falls back to one serial call when threading cannot pay
+/// for itself.  Ranges executed on pool workers are bracketed with the
+/// worker's resource counters (metrics on) and folded into `tl_remote` for
+/// the caller's phase attribution.
+void dispatch_tiles(int64_t tiles, double flops,
+                    const std::function<void(int64_t, int64_t)>& body) {
+  if (tiles <= 0) return;
   const int threads = compute_threads();
-  if (threads <= 1 || rows == 1 || tl_in_compute_chunk ||
+  if (threads <= 1 || tiles == 1 || tl_in_compute_chunk ||
       flops < static_cast<double>(kParallelFlopThreshold)) {
-    body(0, rows);
+    body(0, tiles);
     return;
   }
-  const int64_t chunk = (rows + threads - 1) / threads;
-  const int64_t parts = (rows + chunk - 1) / chunk;
-  // Private join latch: ThreadPool::wait_idle() would also wait for
-  // unrelated submissions; this dispatch joins only its own chunks.
-  struct Join {
-    std::mutex m;
-    std::condition_variable cv;
-    int64_t remaining;
-  } join{{}, {}, parts - 1};
-  ThreadPool& pool = ThreadPool::global();
-  for (int64_t p = 1; p < parts; ++p) {
-    const int64_t lo = p * chunk;
-    const int64_t hi = std::min(rows, lo + chunk);
-    pool.submit([&join, &body, lo, hi] {
-      tl_in_compute_chunk = true;
+  const int parts = static_cast<int>(std::min<int64_t>(threads, tiles));
+  const bool collect = metrics_enabled();
+  std::vector<prof::CounterSample> deltas(
+      collect ? static_cast<std::size_t>(parts) : 0);
+  parallel_tiles(tiles, parts, [&](int part, int64_t lo, int64_t hi) {
+    if (part == 0) {
+      // Inline on the caller: its counters already bracket the whole kernel
+      // call in timed(), so measuring here would double-count.
       body(lo, hi);
-      tl_in_compute_chunk = false;
-      const std::scoped_lock lock(join.m);
-      if (--join.remaining == 0) join.cv.notify_one();
-    });
+      return;
+    }
+    tl_in_compute_chunk = true;
+    if (collect) {
+      prof::ThreadCounters& tc = prof::ThreadCounters::this_thread();
+      const prof::CounterSample before = tc.read();
+      body(lo, hi);
+      deltas[static_cast<std::size_t>(part)] = tc.read().delta(before);
+    } else {
+      body(lo, hi);
+    }
+    tl_in_compute_chunk = false;
+  });
+  if (collect) {
+    for (int p = 1; p < parts; ++p)
+      tl_remote.fold(deltas[static_cast<std::size_t>(p)]);
   }
-  body(0, std::min(rows, chunk));
-  std::unique_lock lock(join.m);
-  join.cv.wait(lock, [&join] { return join.remaining == 0; });
 }
 
 // ---------------------------------------------------------------------------
@@ -108,11 +137,13 @@ void record_conv(double seconds, int64_t flops) noexcept {
 /// Times `fn` into the given recorder only when metrics are on (two clock
 /// reads per kernel call, skipped entirely otherwise).  Kernels big enough
 /// to parallelize additionally bracket the call with the calling thread's
-/// resource counters so achieved GF/s and IPC per phase surface as prof.*
-/// gauges; small kernels keep the historical two-clock-read path so the
-/// bench_overhead gate is unaffected by thousands of tiny calls per second.
-/// FLOP-annotated wall spans are emitted only while the sampling profiler
-/// is live — a plain --trace-out run produces exactly the spans it used to.
+/// resource counters — plus the per-worker deltas dispatch_tiles folded
+/// into tl_remote — so achieved GF/s and IPC per phase cover every thread
+/// that did work; small kernels keep the historical two-clock-read path so
+/// the bench_overhead gate is unaffected by thousands of tiny calls per
+/// second.  FLOP-annotated wall spans are emitted only while the sampling
+/// profiler is live — a plain --trace-out run produces exactly the spans it
+/// used to.
 template <typename Fn, typename Rec>
 inline void timed(int64_t flops, Rec rec, prof::Phase phase, Fn&& fn) {
   if (!metrics_enabled()) {
@@ -126,13 +157,22 @@ inline void timed(int64_t flops, Rec rec, prof::Phase phase, Fn&& fn) {
     return;
   }
   prof::ThreadCounters& counters = prof::ThreadCounters::this_thread();
+  // Nested kernels (conv's inner GEMM) save and restore the accumulator:
+  // each timed() consumes only the remote deltas of dispatches its own fn
+  // issued, and an inner kernel's remote work is attributed to the inner
+  // phase (the caller's bracket still covers the inner *inline* work, as it
+  // always has).
+  const RemoteCounters saved_remote = tl_remote;
+  tl_remote = RemoteCounters{};
   const prof::CounterSample before = counters.read();
   const WallTimer timer;
   fn();
   const double seconds = timer.seconds();
   const prof::CounterSample after = counters.read();
   rec(seconds, flops);
-  const prof::CounterSample delta = after.delta(before);
+  prof::CounterSample delta = after.delta(before);
+  if (tl_remote.count > 0) delta.add(tl_remote.sum);
+  tl_remote = saved_remote;
   prof::record_phase(phase, seconds, flops, delta);
   SpanTracer& tracer = SpanTracer::global();
   if (tracer.enabled() && prof::CpuProfiler::global().running()) {
@@ -151,13 +191,18 @@ inline void timed(int64_t flops, Rec rec, prof::Phase phase, Fn&& fn) {
 }
 
 // ---------------------------------------------------------------------------
-// Blocked GEMM (nn / tn)
+// Blocked GEMM — one packed core for nn / tn / nt
 // ---------------------------------------------------------------------------
-// Register micro-tiles over a KC x NC cache panel of B.  The micro-kernel
-// holds an MR x NR tile of C in registers, loaded from and stored back to
-// memory once per k-panel, so each element's chain stays
-// `C ... + t_k + t_{k+1} ...` in ascending k — bit-identical to the naive
-// ikj loop while cutting B and C memory traffic by the tile factors.
+// The output C is cut into a 2-D grid of (MC x NC) tiles; each tile has one
+// owner worker.  The owner walks k in KC panels, packing the A panel
+// (mlen x klen) and B panel (klen x nlen) a tile consumes into thread-local
+// buffers first: packing untransposes tn's A and nt's B, so a single
+// micro-kernel family serves all three variants, and each worker reads/
+// writes only its own buffers (no shared pack, no false sharing).  Register
+// micro-tiles (MR x NR lanes) hold a C sub-tile across one k panel, loaded
+// from and stored back to memory once per panel, so each element's chain
+// stays `C ... + t_k + t_{k+1} ...` in ascending k — bit-identical to the
+// naive loops while cutting B and C memory traffic by the tile factors.
 //
 // The accumulator tile is held in explicit vector-extension lanes rather
 // than a float[][] array: GCC's scalar-replacement gives up on a 64-float
@@ -172,6 +217,7 @@ constexpr int64_t MR = 4;    // micro-tile rows (broadcast reuse of a B row)
 constexpr int64_t NR = 16;   // micro-tile columns (one 16-lane vector)
 constexpr int64_t KC = 128;  // k panel
 constexpr int64_t NC = 128;  // column panel: KC*NC*4 B = 64 KiB of B stays hot
+constexpr int64_t MC = 64;   // tile rows: MC*KC*4 B = 32 KiB of packed A
 
 #if defined(__GNUC__) || defined(__clang__)
 #define SWT_VEC_EXT 1
@@ -185,9 +231,11 @@ inline vf16 load16(const float* p) {
 inline void store16(float* p, const vf16& v) { __builtin_memcpy(p, &v, sizeof v); }
 #endif
 
-/// MRC x NR tile of C, k in [k0, k1).  ATrans reads A stored (k, m) —
-/// either way `av` is a scalar broadcast against one 16-lane row of B.
-template <int MRC, bool ATrans>
+/// MRC x NR tile of C from packed panels: `a` is the packed A panel (row
+/// stride lda = klen), `b` the packed B panel (row stride ldb = nlen), k in
+/// [k0, k1) local to the panel.  `av` is a scalar broadcast against one
+/// 16-lane row of B.
+template <int MRC>
 inline void micro_n(const float* __restrict__ a, int64_t lda,
                     const float* __restrict__ b, int64_t ldb,
                     float* __restrict__ c, int64_t ldc, int64_t i0, int64_t j0,
@@ -197,10 +245,7 @@ inline void micro_n(const float* __restrict__ a, int64_t lda,
   for (int r = 0; r < MRC; ++r) acc[r] = load16(c + (i0 + r) * ldc + j0);
   for (int64_t kk = k0; kk < k1; ++kk) {
     const vf16 bv = load16(b + kk * ldb + j0);
-    for (int r = 0; r < MRC; ++r) {
-      const float av = ATrans ? a[kk * lda + i0 + r] : a[(i0 + r) * lda + kk];
-      acc[r] += av * bv;
-    }
+    for (int r = 0; r < MRC; ++r) acc[r] += a[(i0 + r) * lda + kk] * bv;
   }
   for (int r = 0; r < MRC; ++r) store16(c + (i0 + r) * ldc + j0, acc[r]);
 #else
@@ -210,7 +255,7 @@ inline void micro_n(const float* __restrict__ a, int64_t lda,
   for (int64_t kk = k0; kk < k1; ++kk) {
     const float* brow = b + kk * ldb + j0;
     for (int r = 0; r < MRC; ++r) {
-      const float av = ATrans ? a[kk * lda + i0 + r] : a[(i0 + r) * lda + kk];
+      const float av = a[(i0 + r) * lda + kk];
       for (int64_t j = 0; j < NR; ++j) acc[r][j] += av * brow[j];
     }
   }
@@ -223,7 +268,7 @@ inline void micro_n(const float* __restrict__ a, int64_t lda,
 /// Double-width variant: MRC x 32 tile (two vectors per row).  Halves the
 /// broadcast + loop overhead per FLOP; the hot path for large n.  Same
 /// ascending-k chain per element as micro_n.
-template <int MRC, bool ATrans>
+template <int MRC>
 inline void micro_n2(const float* __restrict__ a, int64_t lda,
                      const float* __restrict__ b, int64_t ldb,
                      float* __restrict__ c, int64_t ldc, int64_t i0, int64_t j0,
@@ -237,7 +282,7 @@ inline void micro_n2(const float* __restrict__ a, int64_t lda,
     const vf16 bv0 = load16(b + kk * ldb + j0);
     const vf16 bv1 = load16(b + kk * ldb + j0 + NR);
     for (int r = 0; r < MRC; ++r) {
-      const float av = ATrans ? a[kk * lda + i0 + r] : a[(i0 + r) * lda + kk];
+      const float av = a[(i0 + r) * lda + kk];
       acc0[r] += av * bv0;
       acc1[r] += av * bv1;
     }
@@ -250,138 +295,177 @@ inline void micro_n2(const float* __restrict__ a, int64_t lda,
 #endif
 
 /// Scalar edge path for row/column tails; same per-element term order.
-template <bool ATrans>
 inline void edge_n(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
                    int64_t ldc, int64_t i0, int64_t i1, int64_t j0, int64_t j1,
                    int64_t k0, int64_t k1) {
   for (int64_t i = i0; i < i1; ++i) {
     float* crow = c + i * ldc;
     for (int64_t kk = k0; kk < k1; ++kk) {
-      const float av = ATrans ? a[kk * lda + i] : a[i * lda + kk];
+      const float av = a[i * lda + kk];
       const float* brow = b + kk * ldb;
       for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
     }
   }
 }
 
-/// Rows [i_lo, i_hi) of C (+)= op(A) * B for the nn / tn variants.
-/// lda is A's row stride: k for nn (A is m x k), m for tn (A is k x m).
-template <bool ATrans>
-void gemm_n_rows(const float* a, int64_t lda, const float* b, float* c, int64_t i_lo,
-                 int64_t i_hi, int64_t n, int64_t k, bool accumulate) {
-  if (!accumulate) std::fill(c + i_lo * n, c + i_hi * n, 0.0f);
-  for (int64_t jc = 0; jc < n; jc += NC) {
-    const int64_t j_max = std::min(n, jc + NC);
-    for (int64_t kc = 0; kc < k; kc += KC) {
-      const int64_t k_max = std::min(k, kc + KC);
-      for (int64_t i = i_lo; i < i_hi; i += MR) {
-        const int64_t rows_left = std::min(MR, i_hi - i);
-        int64_t j = jc;
+/// One (mlen x nlen) C tile accumulated over one packed k panel.  `c` points
+/// at the tile origin inside the full C (row stride ldc); `ap`/`bp` are the
+/// packed panels with local strides klen/nlen.
+void tile_panel(const float* ap, int64_t klen, const float* bp, int64_t nlen,
+                float* c, int64_t ldc, int64_t mlen) {
+  for (int64_t i = 0; i < mlen; i += MR) {
+    const int64_t rows_left = std::min(MR, mlen - i);
+    int64_t j = 0;
 #ifdef SWT_VEC_EXT
-        for (; j + 2 * NR <= j_max; j += 2 * NR) {
-          switch (rows_left) {
-            case 4: micro_n2<4, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-            case 3: micro_n2<3, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-            case 2: micro_n2<2, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-            default: micro_n2<1, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-          }
-        }
-#endif
-        for (; j + NR <= j_max; j += NR) {
-          switch (rows_left) {
-            case 4: micro_n<4, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-            case 3: micro_n<3, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-            case 2: micro_n<2, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-            default: micro_n<1, ATrans>(a, lda, b, n, c, n, i, j, kc, k_max); break;
-          }
-        }
-        if (j < j_max)
-          edge_n<ATrans>(a, lda, b, n, c, n, i, i + rows_left, j, j_max, kc, k_max);
+    for (; j + 2 * NR <= nlen; j += 2 * NR) {
+      switch (rows_left) {
+        case 4: micro_n2<4>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
+        case 3: micro_n2<3>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
+        case 2: micro_n2<2>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
+        default: micro_n2<1>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
       }
     }
+#endif
+    for (; j + NR <= nlen; j += NR) {
+      switch (rows_left) {
+        case 4: micro_n<4>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
+        case 3: micro_n<3>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
+        case 2: micro_n<2>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
+        default: micro_n<1>(ap, klen, bp, nlen, c, ldc, i, j, 0, klen); break;
+      }
+    }
+    if (j < nlen)
+      edge_n(ap, klen, bp, nlen, c, ldc, i, i + rows_left, j, nlen, 0, klen);
   }
 }
 
-// ---------------------------------------------------------------------------
-// Blocked GEMM (nt): C[i][j] = dot(A row i, B row j)
-// ---------------------------------------------------------------------------
-// The naive dot product is one serial FMA chain per element —
-// latency-bound.  An MR x NRT register tile gives MR*NRT independent
-// chains (throughput-bound) and reuses each A/B load across a tile edge,
-// while each chain still sums in ascending k.
+/// Everything one GEMM call needs, independent of which worker runs a tile.
+/// `a_trans`: A is stored (k, m) with row stride lda (the tn variant);
+/// `b_trans`: B is stored (n, k) with row stride ldb (the nt variant) and
+/// the pack transposes it.  Either way the packed panels are plain row-major
+/// op(A)/op(B) sub-blocks.
+struct GemmSpec {
+  const float* a;
+  int64_t lda;
+  bool a_trans;
+  const float* b;
+  int64_t ldb;
+  bool b_trans;
+  float* c;
+  int64_t m, n, k;
+  bool accumulate;
+};
 
-constexpr int64_t NRT = 8;  // nt micro-tile columns (one 8-lane vector)
+/// Per-worker pack buffers: thread-local, sized once, reused across calls.
+/// Lifetime = the worker thread's lifetime; validity of the *contents* is
+/// local to one packed panel inside one dispatch (each tile range re-packs
+/// what it needs), so stale bytes from a previous call can never leak into
+/// a result.
+struct PackBuffers {
+  std::vector<float> a;  // MC x KC
+  std::vector<float> b;  // KC x NC
+};
 
-#ifdef SWT_VEC_EXT
-typedef float vf8 __attribute__((vector_size(32)));
-#endif
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers bufs;
+  if (bufs.a.size() < static_cast<std::size_t>(MC * KC))
+    bufs.a.resize(static_cast<std::size_t>(MC * KC));
+  if (bufs.b.size() < static_cast<std::size_t>(KC * NC))
+    bufs.b.resize(static_cast<std::size_t>(KC * NC));
+  return bufs;
+}
 
-template <int MRC>
-inline void micro_t(const float* __restrict__ a, int64_t lda,
-                    const float* __restrict__ b, int64_t ldb,
-                    float* __restrict__ c, int64_t ldc, int64_t i0, int64_t j0,
-                    int64_t k0, int64_t k1) {
-#ifdef SWT_VEC_EXT
-  vf8 acc[MRC];
-  for (int r = 0; r < MRC; ++r)
-    __builtin_memcpy(&acc[r], c + (i0 + r) * ldc + j0, sizeof(vf8));
-  for (int64_t kk = k0; kk < k1; ++kk) {
-    vf8 bv;  // strided gather: one column of B^T
-    for (int64_t j = 0; j < NRT; ++j) bv[j] = b[(j0 + j) * ldb + kk];
-    for (int r = 0; r < MRC; ++r) acc[r] += a[(i0 + r) * lda + kk] * bv;
-  }
-  for (int r = 0; r < MRC; ++r)
-    __builtin_memcpy(c + (i0 + r) * ldc + j0, &acc[r], sizeof(vf8));
-#else
-  float acc[MRC][NRT];
-  for (int r = 0; r < MRC; ++r)
-    for (int64_t j = 0; j < NRT; ++j) acc[r][j] = c[(i0 + r) * ldc + j0 + j];
-  for (int64_t kk = k0; kk < k1; ++kk) {
-    float bv[NRT];
-    for (int64_t j = 0; j < NRT; ++j) bv[j] = b[(j0 + j) * ldb + kk];
-    for (int r = 0; r < MRC; ++r) {
-      const float av = a[(i0 + r) * lda + kk];
-      for (int64_t j = 0; j < NRT; ++j) acc[r][j] += av * bv[j];
+/// Pack op(A)[i0 : i0+mlen, k0 : k0+klen] row-major into dst (stride klen).
+void pack_a(const GemmSpec& s, float* dst, int64_t i0, int64_t mlen, int64_t k0,
+            int64_t klen) {
+  if (!s.a_trans) {
+    for (int64_t r = 0; r < mlen; ++r) {
+      const float* src = s.a + (i0 + r) * s.lda + k0;
+      std::copy(src, src + klen, dst + r * klen);
+    }
+  } else {
+    // A stored (k, m): read rows of A (contiguous), scatter into columns.
+    for (int64_t kk = 0; kk < klen; ++kk) {
+      const float* src = s.a + (k0 + kk) * s.lda + i0;
+      for (int64_t r = 0; r < mlen; ++r) dst[r * klen + kk] = src[r];
     }
   }
-  for (int r = 0; r < MRC; ++r)
-    for (int64_t j = 0; j < NRT; ++j) c[(i0 + r) * ldc + j0 + j] = acc[r][j];
-#endif
 }
 
-void edge_t(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
-            int64_t ldc, int64_t i0, int64_t i1, int64_t j0, int64_t j1, int64_t k0,
-            int64_t k1) {
-  for (int64_t i = i0; i < i1; ++i) {
-    const float* arow = a + i * lda;
-    for (int64_t j = j0; j < j1; ++j) {
-      const float* brow = b + j * ldb;
-      float acc = c[i * ldc + j];
-      for (int64_t kk = k0; kk < k1; ++kk) acc += arow[kk] * brow[kk];
-      c[i * ldc + j] = acc;
+/// Pack op(B)[k0 : k0+klen, j0 : j0+nlen] row-major into dst (stride nlen).
+void pack_b(const GemmSpec& s, float* dst, int64_t k0, int64_t klen, int64_t j0,
+            int64_t nlen) {
+  if (!s.b_trans) {
+    for (int64_t kk = 0; kk < klen; ++kk) {
+      const float* src = s.b + (k0 + kk) * s.ldb + j0;
+      std::copy(src, src + nlen, dst + kk * nlen);
+    }
+  } else {
+    // B stored (n, k): read rows of B (contiguous), scatter into columns —
+    // this is what turns nt's per-k strided gather into packed vector loads.
+    for (int64_t j = 0; j < nlen; ++j) {
+      const float* src = s.b + (j0 + j) * s.ldb + k0;
+      for (int64_t kk = 0; kk < klen; ++kk) dst[kk * nlen + j] = src[kk];
     }
   }
 }
 
-void gemm_t_rows(const float* a, const float* b, float* c, int64_t i_lo, int64_t i_hi,
-                 int64_t n, int64_t k, bool accumulate) {
-  if (!accumulate) std::fill(c + i_lo * n, c + i_hi * n, 0.0f);
-  for (int64_t kc = 0; kc < k; kc += KC) {
-    const int64_t k_max = std::min(k, kc + KC);
-    for (int64_t i = i_lo; i < i_hi; i += MR) {
-      const int64_t rows_left = std::min(MR, i_hi - i);
-      int64_t j = 0;
-      for (; j + NRT <= n; j += NRT) {
-        switch (rows_left) {
-          case 4: micro_t<4>(a, k, b, k, c, n, i, j, kc, k_max); break;
-          case 3: micro_t<3>(a, k, b, k, c, n, i, j, kc, k_max); break;
-          case 2: micro_t<2>(a, k, b, k, c, n, i, j, kc, k_max); break;
-          default: micro_t<1>(a, k, b, k, c, n, i, j, kc, k_max); break;
+/// Owner-computes walk over tile indices [lo, hi) of the (tiles_m x tiles_n)
+/// grid, flattened jc-major (t = jc * tiles_m + ic) so a worker's contiguous
+/// range shares B panels: for each jc column it owns a piece of, the worker
+/// packs B(kc, jc) once and reuses it across all of its ic tiles.  Each C
+/// element belongs to exactly one tile, each tile to exactly one range, and
+/// the k panels run ascending — one accumulation chain per element, owned
+/// end to end by one thread.
+void gemm_tile_range(const GemmSpec& s, int64_t tiles_m, int64_t lo, int64_t hi) {
+  PackBuffers& bufs = pack_buffers();
+  int64_t t = lo;
+  while (t < hi) {
+    const int64_t jc = t / tiles_m;
+    const int64_t group_end = std::min(hi, (jc + 1) * tiles_m);
+    const int64_t j0 = jc * NC;
+    const int64_t nlen = std::min(NC, s.n - j0);
+    if (s.k <= 0) {
+      // Nothing to reduce: the contract is still "overwrite with zeros"
+      // unless accumulating (matching the naive fill + empty loop).
+      if (!s.accumulate) {
+        for (int64_t tt = t; tt < group_end; ++tt) {
+          const int64_t i0 = (tt % tiles_m) * MC;
+          const int64_t mlen = std::min(MC, s.m - i0);
+          float* ctile = s.c + i0 * s.n + j0;
+          for (int64_t r = 0; r < mlen; ++r)
+            std::fill(ctile + r * s.n, ctile + r * s.n + nlen, 0.0f);
         }
       }
-      if (j < n) edge_t(a, k, b, k, c, n, i, i + rows_left, j, n, kc, k_max);
+      t = group_end;
+      continue;
     }
+    for (int64_t kc = 0; kc < s.k; kc += KC) {
+      const int64_t klen = std::min(KC, s.k - kc);
+      pack_b(s, bufs.b.data(), kc, klen, j0, nlen);
+      for (int64_t tt = t; tt < group_end; ++tt) {
+        const int64_t i0 = (tt % tiles_m) * MC;
+        const int64_t mlen = std::min(MC, s.m - i0);
+        float* ctile = s.c + i0 * s.n + j0;
+        if (kc == 0 && !s.accumulate) {
+          for (int64_t r = 0; r < mlen; ++r)
+            std::fill(ctile + r * s.n, ctile + r * s.n + nlen, 0.0f);
+        }
+        pack_a(s, bufs.a.data(), i0, mlen, kc, klen);
+        tile_panel(bufs.a.data(), klen, bufs.b.data(), nlen, ctile, s.n, mlen);
+      }
+    }
+    t = group_end;
   }
+}
+
+void gemm_2d(const GemmSpec& s, int64_t flops) {
+  const int64_t tiles_m = (s.m + MC - 1) / MC;
+  const int64_t tiles_n = (s.n + NC - 1) / NC;
+  dispatch_tiles(tiles_m * tiles_n, static_cast<double>(flops),
+                 [&s, tiles_m](int64_t lo, int64_t hi) {
+                   gemm_tile_range(s, tiles_m, lo, hi);
+                 });
 }
 
 // ---------------------------------------------------------------------------
@@ -454,9 +538,38 @@ void col2im_add_images(const float* dcol, float* dx, const ConvGeom& g, int64_t 
 // Public API
 // ---------------------------------------------------------------------------
 
+int parse_thread_count(const char* text, int fallback, std::string* reason) {
+  if (reason != nullptr) reason->clear();
+  const auto reject = [&](const char* why) {
+    if (reason != nullptr) *reason = why;
+    return fallback;
+  };
+  if (text == nullptr || *text == '\0') return reject("empty value");
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (end == text) return reject("not an integer");
+  while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+  if (*end != '\0') return reject("trailing garbage after the number");
+  if (n < 1) return reject("below 1");
+  if (errno == ERANGE || n > kMaxComputeThreads) {
+    if (reason != nullptr)
+      *reason = "above the maximum of " + std::to_string(kMaxComputeThreads) +
+                ", clamped";
+    return kMaxComputeThreads;
+  }
+  return static_cast<int>(n);
+}
+
 void set_compute_threads(int n) noexcept {
-  g_compute_threads.store(n > 0 ? std::min(n, 1024) : hardware_threads(),
-                          std::memory_order_relaxed);
+  int v = n;
+  if (n <= 0) {
+    v = hardware_threads();  // documented reset-to-hardware-default
+  } else if (n > kMaxComputeThreads) {
+    v = kMaxComputeThreads;
+    log_warn("set_compute_threads(", n, ") above the maximum, clamped to ", v);
+  }
+  g_compute_threads.store(v, std::memory_order_relaxed);
 }
 
 int compute_threads() noexcept {
@@ -469,7 +582,7 @@ int compute_threads() noexcept {
 }
 
 // Reuses the nested-dispatch guard: a thread marked "in a compute chunk"
-// always takes parallel_rows' serial path.
+// always takes dispatch_tiles' serial path.
 ScopedSerialKernels::ScopedSerialKernels() noexcept : prev_(tl_in_compute_chunk) {
   tl_in_compute_chunk = true;
 }
@@ -481,9 +594,7 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n, int
   if (m <= 0 || n <= 0) return;
   const int64_t flops = 2 * m * n * k;
   timed(flops, record_matmul, prof::Phase::kGemm, [&] {
-    parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
-      gemm_n_rows<false>(a, k, b, c, lo, hi, n, k, accumulate);
-    });
+    gemm_2d({a, k, false, b, n, false, c, m, n, k, accumulate}, flops);
   });
 }
 
@@ -492,9 +603,7 @@ void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t n, int
   if (m <= 0 || n <= 0) return;
   const int64_t flops = 2 * m * n * k;
   timed(flops, record_matmul, prof::Phase::kGemm, [&] {
-    parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
-      gemm_n_rows<true>(a, m, b, c, lo, hi, n, k, accumulate);
-    });
+    gemm_2d({a, m, true, b, n, false, c, m, n, k, accumulate}, flops);
   });
 }
 
@@ -503,9 +612,7 @@ void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n, int
   if (m <= 0 || n <= 0) return;
   const int64_t flops = 2 * m * n * k;
   timed(flops, record_matmul, prof::Phase::kGemm, [&] {
-    parallel_rows(m, static_cast<double>(flops), [&](int64_t lo, int64_t hi) {
-      gemm_t_rows(a, b, c, lo, hi, n, k, accumulate);
-    });
+    gemm_2d({a, k, false, b, k, true, c, m, n, k, accumulate}, flops);
   });
 }
 
@@ -530,9 +637,9 @@ ConvGeom conv1d_geom(int64_t n, int64_t len, int64_t cin, int64_t k, int64_t cou
 void im2col(const float* x, float* col, const ConvGeom& g) {
   const int64_t rows = g.patch_rows();
   // Copy work, not FLOPs; priced as one "op" per moved float for the
-  // serial-threshold heuristic.
-  parallel_rows(rows, static_cast<double>(rows * g.patch_cols()),
-                [&](int64_t lo, int64_t hi) { im2col_rows(x, col, g, lo, hi); });
+  // serial-threshold heuristic.  One tile = one patch row.
+  dispatch_tiles(rows, static_cast<double>(rows * g.patch_cols()),
+                 [&](int64_t lo, int64_t hi) { im2col_rows(x, col, g, lo, hi); });
 }
 
 void conv_forward(const float* x, const float* w, const float* bias, float* y,
@@ -575,10 +682,11 @@ void conv_backward(const float* x, const float* w, const float* dy, float* dx,
     // dcol = dy * w^T, then scattered back into dx per image.
     std::vector<float>& dcol = scratch(1, static_cast<std::size_t>(rows * r_cols));
     gemm_nt(dy, w, dcol.data(), rows, r_cols, g.cout, /*accumulate=*/false);
-    parallel_rows(g.n, static_cast<double>(rows * r_cols),
-                  [&](int64_t lo, int64_t hi) {
-                    col2im_add_images(dcol.data(), dx, g, lo, hi);
-                  });
+    // One tile = one image: patches of different images never overlap in dx.
+    dispatch_tiles(g.n, static_cast<double>(rows * r_cols),
+                   [&](int64_t lo, int64_t hi) {
+                     col2im_add_images(dcol.data(), dx, g, lo, hi);
+                   });
   });
 }
 

@@ -7,11 +7,18 @@
 //   floating-point accumulation chain over the reduction index in ascending
 //   order, regardless of blocking factors or thread count.  Blocking only
 //   reorders *which element* is computed when, never the term order *within*
-//   an element, and the parallel driver partitions output rows (whole
-//   reduction chains) across threads.  Consequently the blocked kernels are
-//   bit-identical to the `naive::` references and to themselves at any
-//   `SWT_THREADS` — the property the registry/compare_runs CI gate and the
-//   trace bit-reproducibility test depend on.
+//   an element.  The parallel driver partitions the output into a 2-D grid
+//   of (MC-row x NC-column) tiles and assigns each tile to exactly one
+//   worker (owner-computes, `swt::parallel_tiles`); an element's whole chain
+//   runs on its tile's owner, so the blocked kernels are bit-identical to
+//   the `naive::` references and to themselves at any `SWT_THREADS` — the
+//   property the registry/compare_runs CI gate and the trace
+//   bit-reproducibility test depend on.
+// * **Per-worker packed panels.**  Each worker packs the A and B panels a
+//   tile consumes into thread-local buffers (reused across calls, never
+//   shared), so threads do not contend on pack writes and the nt variant's
+//   strided B^T gather becomes a contiguous packed read.  Packing copies
+//   values; it never reorders an accumulation chain.
 // * **No data-dependent fast paths.**  The old `if (a == 0.0f) continue;`
 //   shortcut made FLOP counts and timings depend on the weight values and
 //   silently swallowed signalling NaNs (0 * NaN must propagate).  Neither
@@ -23,10 +30,13 @@
 //
 // The kernels feed `tensor.matmul_seconds` / `tensor.conv_seconds` gauges
 // (plus call/FLOP counters) into the process MetricsRegistry when metrics
-// are enabled.
+// are enabled, and aggregate per-worker resource counters into the
+// `prof.gemm.*` / `prof.conv.*` phase attribution so achieved GFLOP/s and
+// IPC stay correct when the work spans several pool threads.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace swt::kernels {
 
@@ -34,13 +44,28 @@ namespace swt::kernels {
 // Threading knob
 // ---------------------------------------------------------------------------
 
-/// Number of row partitions the parallel driver splits a large kernel into.
-/// Defaults to the `SWT_THREADS` environment variable when set (and > 0),
-/// otherwise to std::thread::hardware_concurrency().  `n <= 0` resets to the
-/// hardware default.  Chunks execute on the shared `ThreadPool::global()`;
-/// results are bit-identical for every value.
+/// Upper bound on the compute-thread knob; values above it clamp (with a
+/// logged warning) rather than silently wrapping or exploding the dispatch.
+inline constexpr int kMaxComputeThreads = 1024;
+
+/// Number of tile owners the parallel driver splits a large kernel across.
+/// Defaults to the `SWT_THREADS` environment variable when set (validated by
+/// `parse_thread_count`, garbage falls back to the hardware default with a
+/// logged warning), otherwise to std::thread::hardware_concurrency().
+/// `n <= 0` resets to the hardware default; `n > kMaxComputeThreads` clamps
+/// with a logged warning.  Tile ranges execute on the shared
+/// `ThreadPool::global()`; results are bit-identical for every value.
 void set_compute_threads(int n) noexcept;
 [[nodiscard]] int compute_threads() noexcept;
+
+/// Strict parser for the `SWT_THREADS` override format: a base-10 integer
+/// with optional surrounding whitespace.  Returns the parsed value clamped
+/// to [1, kMaxComputeThreads]; empty/non-numeric/trailing-junk input and
+/// values below 1 return `fallback` instead.  When `reason` is non-null it
+/// is cleared, then set to a human-readable explanation whenever the input
+/// was not accepted verbatim — the caller decides whether to log it.
+[[nodiscard]] int parse_thread_count(const char* text, int fallback,
+                                     std::string* reason = nullptr);
 
 /// RAII guard: while alive, kernels invoked from the *current thread* run
 /// serially instead of dispatching row chunks to the shared pool.  Used by

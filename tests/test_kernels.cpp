@@ -8,8 +8,11 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "exp/runner.hpp"
 #include "exp/trace_io.hpp"
@@ -34,26 +37,49 @@ struct ThreadGuard {
   ~ThreadGuard() { k::set_compute_threads(saved); }
 };
 
+/// Bit-exactness gate: memcmp first (the actual contract), elementwise only
+/// to produce a useful failure message when the bytes differ.
 void expect_equal(const std::vector<float>& got, const std::vector<float>& want,
                   const char* what) {
   ASSERT_EQ(got.size(), want.size());
+  if (got.empty() ||
+      std::memcmp(got.data(), want.data(), got.size() * sizeof(float)) == 0)
+    return;
   for (std::size_t i = 0; i < got.size(); ++i) {
     ASSERT_EQ(got[i], want[i]) << what << " diverges from reference at flat index "
                                << i;
   }
+  FAIL() << what << ": memcmp differs but no element compared unequal (NaN "
+            "payload or -0.0 mismatch)";
 }
 
 struct GemmShape {
   std::int64_t m, n, k;
 };
 
-// Degenerate extents (1 and 0), tails off every blocking factor (MR=4,
-// NR=16/8, KC=128, NC=128), and panel-crossing sizes.
-const GemmShape kGemmShapes[] = {
-    {1, 1, 1},   {1, 5, 3},    {4, 16, 8},    {5, 17, 9},    {3, 130, 140},
-    {31, 33, 1}, {129, 7, 129}, {64, 64, 64}, {70, 150, 40}, {0, 8, 8},
-    {8, 0, 8},   {8, 8, 0},
-};
+/// Parameterized sweep: rotates each probe extent — degenerate (1), ragged
+/// primes, and every blocking-factor boundary +/-1 (MR=4, NR=16, MC=64,
+/// KC=128, NC=128) — through each of the three axes with ragged co-extents,
+/// plus degenerate-zero and panel-crossing triples.  Kept to ~1e8 scalar ops
+/// total so the sweep stays fast under TSan.
+std::vector<GemmShape> sweep_shapes() {
+  std::vector<GemmShape> shapes = {
+      // Degenerate extents: empty output and empty reduction.
+      {0, 8, 8}, {8, 0, 8}, {8, 8, 0}, {1, 1, 1},
+      // Hand-picked panel-crossing / multi-tile triples.
+      {4, 16, 8}, {64, 64, 64}, {70, 150, 40}, {129, 257, 130}, {255, 33, 129},
+  };
+  // Probe extents: 1, small ragged, and tile-boundary +/-1 for each factor.
+  const std::int64_t probes[] = {1, 3, 17, 63, 64, 65, 127, 128, 129, 255, 256, 257};
+  for (const std::int64_t p : probes) {
+    shapes.push_back({p, 37, 29});  // m axis: MR/MC tails
+    shapes.push_back({37, p, 29});  // n axis: NR/NC tails
+    shapes.push_back({37, 29, p});  // k axis: KC tails
+  }
+  return shapes;
+}
+
+const std::vector<GemmShape> kGemmShapes = sweep_shapes();
 
 class GemmDifferential : public ::testing::TestWithParam<GemmShape> {};
 
@@ -114,7 +140,7 @@ TEST(Kernels, GemmBitIdenticalAcrossThreadCounts) {
   };
   std::vector<float> nn1(ref.size()), tn1(ref.size()), nt1(ref.size());
   run_all(nn1, tn1, nt1);
-  for (const int threads : {2, 8}) {
+  for (const int threads : {2, 4, 8, 16}) {
     k::set_compute_threads(threads);
     std::vector<float> nn(ref.size()), tn(ref.size()), nt(ref.size());
     run_all(nn, tn, nt);
@@ -125,6 +151,59 @@ TEST(Kernels, GemmBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(0, std::memcmp(nt.data(), nt1.data(), nt.size() * sizeof(float)))
         << "gemm_nt at " << threads << " threads";
   }
+  // Serial-guard arm: under ScopedSerialKernels the same calls must take the
+  // in-thread path (no pool dispatch) and still produce identical bytes.
+  {
+    k::set_compute_threads(8);
+    const k::ScopedSerialKernels serial;
+    std::vector<float> nn(ref.size()), tn(ref.size()), nt(ref.size());
+    run_all(nn, tn, nt);
+    EXPECT_EQ(0, std::memcmp(nn.data(), nn1.data(), nn.size() * sizeof(float)))
+        << "gemm_nn under ScopedSerialKernels";
+    EXPECT_EQ(0, std::memcmp(tn.data(), tn1.data(), tn.size() * sizeof(float)))
+        << "gemm_tn under ScopedSerialKernels";
+    EXPECT_EQ(0, std::memcmp(nt.data(), nt1.data(), nt.size() * sizeof(float)))
+        << "gemm_nt under ScopedSerialKernels";
+  }
+}
+
+// Many concurrent *callers* each dispatching parallel kernels — the shape of
+// wavefront evaluation, and the case TSan watches: per-worker pack buffers
+// must never be shared, and every caller must read back identical bytes.
+TEST(Kernels, ConcurrentCallersBitIdentical) {
+  const std::int64_t m = 150, n = 170, kk = 190;
+  const auto a = random_vec(m * kk, 31);
+  const auto b = random_vec(kk * n, 32);
+  const ThreadGuard guard;
+  k::set_compute_threads(1);
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  k::gemm_nn(a.data(), b.data(), ref.data(), m, n, kk);
+
+  k::set_compute_threads(4);
+  constexpr int kCallers = 4;
+  std::vector<std::vector<float>> out(kCallers,
+                                      std::vector<float>(ref.size()));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      // Odd callers opt out of nested dispatch, as wavefront tasks do.
+      if (t % 2 == 1) {
+        const k::ScopedSerialKernels serial;
+        k::gemm_nn(a.data(), b.data(), out[static_cast<std::size_t>(t)].data(), m,
+                   n, kk);
+      } else {
+        k::gemm_nn(a.data(), b.data(), out[static_cast<std::size_t>(t)].data(), m,
+                   n, kk);
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (int t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(0, std::memcmp(out[static_cast<std::size_t>(t)].data(), ref.data(),
+                             ref.size() * sizeof(float)))
+        << "caller " << t;
+  }
 }
 
 TEST(Kernels, ComputeThreadsKnob) {
@@ -133,6 +212,63 @@ TEST(Kernels, ComputeThreadsKnob) {
   EXPECT_EQ(3, k::compute_threads());
   k::set_compute_threads(0);  // reset to hardware default
   EXPECT_GE(k::compute_threads(), 1);
+}
+
+TEST(Kernels, SetComputeThreadsClampsAboveMaximumWithWarning) {
+  const ThreadGuard guard;
+  std::vector<std::string> warnings;
+  set_log_sink([&warnings](LogLevel level, const std::string& msg) {
+    if (level == LogLevel::kWarn) warnings.push_back(msg);
+  });
+  k::set_compute_threads(k::kMaxComputeThreads + 5);
+  set_log_sink({});
+  EXPECT_EQ(k::kMaxComputeThreads, k::compute_threads());
+  ASSERT_EQ(1u, warnings.size());
+  EXPECT_NE(std::string::npos, warnings[0].find("clamped")) << warnings[0];
+}
+
+TEST(Kernels, ParseThreadCountAcceptsPlainIntegers) {
+  std::string reason;
+  EXPECT_EQ(1, k::parse_thread_count("1", 7, &reason));
+  EXPECT_TRUE(reason.empty());
+  EXPECT_EQ(16, k::parse_thread_count("16", 7, &reason));
+  EXPECT_TRUE(reason.empty());
+  EXPECT_EQ(8, k::parse_thread_count("  8\n", 7, &reason));  // whitespace ok
+  EXPECT_TRUE(reason.empty());
+  EXPECT_EQ(k::kMaxComputeThreads,
+            k::parse_thread_count(std::to_string(k::kMaxComputeThreads).c_str(), 7,
+                                  &reason));
+  EXPECT_TRUE(reason.empty());
+}
+
+TEST(Kernels, ParseThreadCountRejectsGarbageWithReason) {
+  struct Case {
+    const char* text;
+    const char* why;
+  };
+  const Case rejected[] = {
+      {"", "empty"},          {"banana", "integer"}, {"4x", "trailing"},
+      {"3.5", "trailing"},    {"0", "below"},        {"-2", "below"},
+      {"0x10", "trailing"},
+  };
+  for (const Case& c : rejected) {
+    std::string reason;
+    EXPECT_EQ(7, k::parse_thread_count(c.text, 7, &reason))
+        << "input \"" << c.text << "\"";
+    EXPECT_NE(std::string::npos, reason.find(c.why))
+        << "input \"" << c.text << "\" gave reason \"" << reason << "\"";
+  }
+  EXPECT_EQ(7, k::parse_thread_count(nullptr, 7));
+}
+
+TEST(Kernels, ParseThreadCountClampsHugeValues) {
+  std::string reason;
+  EXPECT_EQ(k::kMaxComputeThreads, k::parse_thread_count("4096", 7, &reason));
+  EXPECT_NE(std::string::npos, reason.find("clamped")) << reason;
+  // Out of long range entirely (ERANGE path).
+  EXPECT_EQ(k::kMaxComputeThreads,
+            k::parse_thread_count("99999999999999999999999", 7, &reason));
+  EXPECT_NE(std::string::npos, reason.find("clamped")) << reason;
 }
 
 // -----------------------------------------------------------------------
@@ -169,6 +305,9 @@ const ConvCase kConvCases[] = {
     {2, 8, 8, 1, 3, 2, 2, 0, 0},   // stride-2 "valid"
     {1, 1, 1, 1, 1, 1, 1, 0, 0},   // 1x1 degenerate
     {3, 1, 11, 2, 1, 3, 2, 0, 1},  // 1-D geometry (h = kh = 1), padded strided
+    {2, 9, 9, 5, 3, 17, 2, 1, 1},  // cout just past NR=16, strided + padded
+    {1, 12, 12, 3, 3, 33, 2, 0, 0},  // cout crosses the 2*NR micro-tile, strided
+    {1, 8, 8, 4, 3, 129, 1, 1, 1},   // cout crosses the NC=128 panel boundary
 };
 
 class ConvDifferential : public ::testing::TestWithParam<ConvCase> {};

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace swt {
@@ -97,6 +101,124 @@ TEST_P(ParallelForSizes, AllIndicesVisited) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ParallelForSizes,
                          ::testing::Values(1, 2, 3, 7, 8, 63, 64, 65, 513));
+
+// ---------------------------------------------------------------------------
+// parallel_tiles: the static owner-computes dispatch under the 2-D GEMM
+// partitioner.  Coverage must be exact and disjoint, the partition a pure
+// function of (count, parts), part 0 inline on the caller, and errors
+// rethrown deterministically (lowest part index wins).
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTiles, RangesCoverExactlyAndDisjointly) {
+  ThreadPool pool(4);
+  for (const std::int64_t count : {1, 2, 3, 7, 8, 63, 64, 65, 513}) {
+    for (const int parts : {1, 2, 3, 4, 7, 16}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+      parallel_tiles(count, parts,
+                     [&](int, std::int64_t lo, std::int64_t hi) {
+                       ASSERT_LE(lo, hi);
+                       for (std::int64_t i = lo; i < hi; ++i)
+                         ++hits[static_cast<std::size_t>(i)];
+                     },
+                     &pool);
+      for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1) << "count=" << count << " parts=" << parts;
+    }
+  }
+}
+
+TEST(ParallelTiles, PartitionIsDeterministic) {
+  ThreadPool pool(4);
+  const auto cuts = [&](std::int64_t count, int parts) {
+    std::mutex m;
+    std::vector<std::pair<int, std::pair<std::int64_t, std::int64_t>>> seen;
+    parallel_tiles(count, parts,
+                   [&](int part, std::int64_t lo, std::int64_t hi) {
+                     const std::scoped_lock lock(m);
+                     seen.emplace_back(part, std::make_pair(lo, hi));
+                   },
+                   &pool);
+    std::sort(seen.begin(), seen.end());
+    return seen;
+  };
+  const auto first = cuts(100, 7);
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(first, cuts(100, 7));
+  // Parts are balanced: range sizes differ by at most one.
+  std::int64_t lo_size = 100, hi_size = 0;
+  for (const auto& [part, range] : first) {
+    lo_size = std::min(lo_size, range.second - range.first);
+    hi_size = std::max(hi_size, range.second - range.first);
+  }
+  EXPECT_LE(hi_size - lo_size, 1);
+}
+
+TEST(ParallelTiles, ClampsPartsToCount) {
+  ThreadPool pool(4);
+  std::atomic<int> ranges{0};
+  std::atomic<std::int64_t> covered{0};
+  parallel_tiles(3, 16,
+                 [&](int, std::int64_t lo, std::int64_t hi) {
+                   ++ranges;
+                   covered += hi - lo;
+                 },
+                 &pool);
+  EXPECT_EQ(ranges.load(), 3);  // never more ranges than tiles
+  EXPECT_EQ(covered.load(), 3);
+}
+
+TEST(ParallelTiles, PartZeroRunsOnCallingThread) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> part0_on_caller{false};
+  parallel_tiles(64, 4,
+                 [&](int part, std::int64_t, std::int64_t) {
+                   if (part == 0)
+                     part0_on_caller = std::this_thread::get_id() == caller;
+                 },
+                 &pool);
+  EXPECT_TRUE(part0_on_caller.load());
+}
+
+TEST(ParallelTiles, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_tiles(0, 4,
+                 [](int, std::int64_t, std::int64_t) { FAIL() << "must not run"; },
+                 &pool);
+}
+
+TEST(ParallelTiles, LowestPartIndexExceptionWins) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      parallel_tiles(16, 4,
+                     [](int part, std::int64_t, std::int64_t) {
+                       if (part == 1) throw std::runtime_error("part1");
+                       if (part == 3) throw std::logic_error("part3");
+                     },
+                     &pool);
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "part1");  // deterministic despite both failing
+    }
+  }
+}
+
+TEST(ParallelTiles, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_tiles(8, 2,
+                              [](int part, std::int64_t, std::int64_t) {
+                                if (part == 0) throw std::runtime_error("boom");
+                              },
+                              &pool),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  parallel_tiles(8, 2,
+                 [&](int, std::int64_t lo, std::int64_t hi) {
+                   counter += static_cast<int>(hi - lo);
+                 },
+                 &pool);
+  EXPECT_EQ(counter.load(), 8);
+}
 
 // ---------------------------------------------------------------------------
 // Exception safety: a throwing task must never reach std::terminate; it is
