@@ -39,13 +39,14 @@ void BM_PoolDispatchJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolDispatchJoin)->Arg(1)->Arg(4)->Arg(8);
 
-NasRunConfig arm_config(long evals, int parallelism) {
+NasRunConfig arm_config(long evals, int parallelism, bool banked = false) {
   NasRunConfig cfg = standard_run_config(TransferMode::kLCS, 1, evals);
   // Fixed virtual durations pin the whole virtual timeline, making the
   // serial and parallel trace CSVs byte-comparable; the *real* training
   // still runs in full, so wall time measures the actual speedup.
   cfg.cluster.fixed_train_seconds = 2.0;
   cfg.cluster.eval_parallelism = parallelism;
+  cfg.bank = banked;
   return cfg;
 }
 
@@ -55,11 +56,12 @@ struct ArmResult {
   bool repeat_stable = true;
 };
 
-ArmResult run_arm(const AppConfig& app, long evals, int parallelism, int repeats) {
+ArmResult run_arm(const AppConfig& app, long evals, int parallelism, int repeats,
+                  bool banked = false) {
   ArmResult arm;
   for (int r = 0; r < repeats; ++r) {
     const WallTimer timer;
-    const NasRun run = run_nas(app, arm_config(evals, parallelism));
+    const NasRun run = run_nas(app, arm_config(evals, parallelism, banked));
     const double s = timer.seconds();
     benchmark::DoNotOptimize(run.trace.makespan);
     arm.wall_s = std::min(arm.wall_s, s);
@@ -99,6 +101,20 @@ bool wavefront_experiment() {
                    identical ? "byte-identical" : "DIVERGED"});
   }
   table.print(std::cout);
+
+  // The banked store must honour the same contract: chunk costs are pure
+  // functions of content, so the virtual timeline cannot depend on which
+  // thread materialised a chunk first (DESIGN.md "Weight bank").
+  TableReport banked_table({"eval-parallelism (banked)", "trace"});
+  std::vector<ArmResult> banked_arms;
+  for (int p : levels) banked_arms.push_back(run_arm(app, evals, p, 1, /*banked=*/true));
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const bool identical = banked_arms[i].trace_csv == banked_arms[0].trace_csv;
+    if (!identical) ok = false;
+    banked_table.add_row({std::to_string(levels[i]),
+                          identical ? "byte-identical" : "DIVERGED"});
+  }
+  banked_table.print(std::cout);
 
   const double speedup4 = serial_s / arms.back().wall_s;
   std::cout << "\nsearch: mnist/LCS, " << evals << " evals, 8 virtual workers, "

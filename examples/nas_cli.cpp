@@ -24,6 +24,7 @@
 
 #include "common/interrupt.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "exp/apps.hpp"
 #include "exp/journal.hpp"
 #include "exp/registry.hpp"
@@ -53,6 +54,8 @@ using namespace swt;
                "       [--events-out events.ndjson|-] [--progress]\n"
                "       [--registry-dir DIR] [--fixed-train-seconds S]\n"
                "       [--compute-threads N] [--eval-parallelism N]\n"
+               "       [--bank] [--bank-budget-mb N]\n"
+               "       [--warm-start-from DIR] [--warm-start-k N]\n"
                "       [--log-level debug|info|warn|error|off]\n"
                "       [--mtbf S] [--straggler-rate P] [--straggler-mult M]\n"
                "       [--ckpt-fault-rate P] [--recovery S] [--max-attempts N]\n"
@@ -77,6 +80,22 @@ using namespace swt;
                "                      clock only; the virtual timeline and trace are\n"
                "                      untouched) once N evaluations have completed\n"
                "  --inject-stall-s S  duration of that injected stall (default 5)\n"
+               "\n"
+               "weight bank (see DESIGN.md \"Weight bank\"):\n"
+               "  --bank              store checkpoints as content-addressed per-tensor\n"
+               "                      chunks: identical tensor content dedupes to one\n"
+               "                      copy and provider reads are priced at manifest\n"
+               "                      size instead of full-blob size\n"
+               "  --bank-budget-mb N  LRU-evict resident chunks above N MiB (0 =\n"
+               "                      unlimited); evicted providers fall back to\n"
+               "                      random init, like a corrupt checkpoint\n"
+               "  --warm-start-from DIR  seed this run's store and evolution population\n"
+               "                      with the top checkpoints of the previous run in\n"
+               "                      DIR (its trace.csv + ckpts/), so early\n"
+               "                      generations fetch trained tensors instead of\n"
+               "                      random init; needs a transfer mode\n"
+               "  --warm-start-k N    how many checkpoints to seed (default: the\n"
+               "                      evolution population size)\n"
                "\n"
                "crash recovery (see DESIGN.md \"Durability contract\"):\n"
                "  --run-dir DIR       durable run: checkpoints in DIR/ckpts, config\n"
@@ -264,20 +283,51 @@ int main(int argc, char** argv) try {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
+    // Full-consumption numeric parsing (common/parse.hpp): "--mtbf oops" or
+    // "--seed 7x" is a usage error with the offending flag named, not an
+    // uncaught std::invalid_argument aborting the process.
+    const auto reject = [&](const std::string& what) -> void {
+      std::cerr << "error: " << arg << " expects " << what << "\n";
+      usage(argv[0]);
+    };
+    const auto num_long = [&]() -> long {
+      const std::string text = next();
+      const auto v = parse_long(text);
+      if (!v.has_value()) reject("an integer, got '" + text + "'");
+      return *v;
+    };
+    const auto num_int = [&]() -> int {
+      const std::string text = next();
+      const auto v = parse_int(text);
+      if (!v.has_value()) reject("an integer, got '" + text + "'");
+      return *v;
+    };
+    const auto num_u64 = [&]() -> std::uint64_t {
+      const std::string text = next();
+      const auto v = parse_u64(text);
+      if (!v.has_value()) reject("a non-negative integer, got '" + text + "'");
+      return *v;
+    };
+    const auto num_double = [&]() -> double {
+      const std::string text = next();
+      const auto v = parse_double(text);
+      if (!v.has_value()) reject("a number, got '" + text + "'");
+      return *v;
+    };
     if (arg == "--app") app_id = parse_app(next(), argv[0]);
     else if (arg == "--mode") cfg.mode = parse_mode(next(), argv[0]);
-    else if (arg == "--evals") cfg.n_evals = std::stol(next());
-    else if (arg == "--workers") cfg.cluster.num_workers = std::stoi(next());
-    else if (arg == "--seed") cfg.seed = std::stoull(next());
-    else if (arg == "--population") cfg.evolution.population_size = std::stoi(next());
-    else if (arg == "--sample") cfg.evolution.sample_size = std::stoi(next());
+    else if (arg == "--evals") cfg.n_evals = num_long();
+    else if (arg == "--workers") cfg.cluster.num_workers = num_int();
+    else if (arg == "--seed") cfg.seed = num_u64();
+    else if (arg == "--population") cfg.evolution.population_size = num_int();
+    else if (arg == "--sample") cfg.evolution.sample_size = num_int();
     else if (arg == "--out") out_path = next();
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--events-out") events_out = next();
     else if (arg == "--registry-dir") registry_dir = next();
     else if (arg == "--progress") progress = true;
-    else if (arg == "--fixed-train-seconds") cfg.cluster.fixed_train_seconds = std::stod(next());
+    else if (arg == "--fixed-train-seconds") cfg.cluster.fixed_train_seconds = num_double();
     else if (arg == "--compute-threads") {
       std::string reason;
       const std::string text = next();
@@ -289,7 +339,7 @@ int main(int argc, char** argv) try {
       if (!reason.empty()) log_warn("--compute-threads ", text, ": ", reason);
       kernels::set_compute_threads(n);
     }
-    else if (arg == "--eval-parallelism") cfg.cluster.eval_parallelism = std::stoi(next());
+    else if (arg == "--eval-parallelism") cfg.cluster.eval_parallelism = num_int();
     else if (arg == "--log-level") {
       const auto level = parse_log_level(next());
       if (!level.has_value()) usage(argv[0]);
@@ -297,33 +347,38 @@ int main(int argc, char** argv) try {
     }
     else if (arg == "--async-ckpt") cfg.cluster.async_checkpointing = true;
     else if (arg == "--compress") compression = parse_compression(next(), argv[0]);
-    else if (arg == "--mtbf") cfg.cluster.faults.mtbf_seconds = std::stod(next());
-    else if (arg == "--straggler-rate") cfg.cluster.faults.straggler_rate = std::stod(next());
+    else if (arg == "--bank") cfg.bank = true;
+    else if (arg == "--bank-budget-mb")
+      cfg.bank_budget_bytes = static_cast<std::size_t>(num_u64()) * 1024 * 1024;
+    else if (arg == "--warm-start-from") cfg.warm_start_dir = next();
+    else if (arg == "--warm-start-k") cfg.warm_start_k = num_int();
+    else if (arg == "--mtbf") cfg.cluster.faults.mtbf_seconds = num_double();
+    else if (arg == "--straggler-rate") cfg.cluster.faults.straggler_rate = num_double();
     else if (arg == "--straggler-mult")
-      cfg.cluster.faults.straggler_multiplier = std::stod(next());
+      cfg.cluster.faults.straggler_multiplier = num_double();
     else if (arg == "--ckpt-fault-rate") {
-      const double rate = std::stod(next());
+      const double rate = num_double();
       cfg.cluster.faults.ckpt_read_fault_rate = rate;
       cfg.cluster.faults.ckpt_write_fault_rate = rate;
     }
-    else if (arg == "--recovery") cfg.cluster.faults.worker_recovery_s = std::stod(next());
-    else if (arg == "--max-attempts") cfg.cluster.faults.max_attempts = std::stoi(next());
+    else if (arg == "--recovery") cfg.cluster.faults.worker_recovery_s = num_double();
+    else if (arg == "--max-attempts") cfg.cluster.faults.max_attempts = num_int();
     else if (arg == "--run-dir") cfg.run_dir = next();
     else if (arg == "--resume") cfg.resume = true;
-    else if (arg == "--crash-after-evals") cfg.journal_crash_after = std::stol(next());
+    else if (arg == "--crash-after-evals") cfg.journal_crash_after = num_long();
     else if (arg == "--no-journal-fsync") cfg.journal_fsync = false;
-    else if (arg == "--serve-port") serve_port = std::stoi(next());
-    else if (arg == "--sample-interval-ms") sample_interval_ms = std::stol(next());
+    else if (arg == "--serve-port") serve_port = num_int();
+    else if (arg == "--sample-interval-ms") sample_interval_ms = num_long();
     else if (arg == "--series-out") series_out = next();
     else if (arg == "--profile-out") profile_out = next();
-    else if (arg == "--profile-hz") profile_hz = std::stoi(next());
-    else if (arg == "--stall-after-s") stall_after_s = std::stod(next());
+    else if (arg == "--profile-hz") profile_hz = num_int();
+    else if (arg == "--stall-after-s") stall_after_s = num_double();
     else if (arg == "--inject-stall-after") {
-      cfg.cluster.faults.stall_after_evals = std::stol(next());
+      cfg.cluster.faults.stall_after_evals = num_long();
       if (cfg.cluster.faults.stall_wall_seconds <= 0.0)
         cfg.cluster.faults.stall_wall_seconds = 5.0;
     }
-    else if (arg == "--inject-stall-s") cfg.cluster.faults.stall_wall_seconds = std::stod(next());
+    else if (arg == "--inject-stall-s") cfg.cluster.faults.stall_wall_seconds = num_double();
     else usage(argv[0]);
   }
   if (cfg.journal_crash_after >= 0 && cfg.run_dir.empty()) {
@@ -498,6 +553,17 @@ int main(int argc, char** argv) try {
             << TableReport::cell(run.trace.total_ckpt_overhead(), 2) << " virtual s\n"
             << "checkpoints stored  : " << run.store->count() << " ("
             << run.store->total_bytes_written() / 1024 << " KiB written)\n";
+  if (const WeightBank* bank = run.store->bank(); bank != nullptr) {
+    const BankStats bs = bank->stats();
+    std::cout << "weight bank         : " << bs.chunk_count << " chunks, dedup ratio "
+              << TableReport::cell(bs.dedup_ratio()) << " ("
+              << bs.unique_bytes_written / 1024 << " KiB unique of "
+              << bs.logical_bytes_written / 1024 << " KiB logical, " << bs.evicted_chunks
+              << " evicted)\n";
+    if (run.warm_start_seeded > 0)
+      std::cout << "warm start          : " << run.warm_start_seeded
+                << " checkpoints seeded from " << cfg.warm_start_dir.string() << "\n";
+  }
   print_failure_summary(std::cout, run.trace);
 
   if (!cfg.run_dir.empty()) {
@@ -542,7 +608,8 @@ int main(int argc, char** argv) try {
               << (events_out == "-" ? "stderr" : events_out) << "\n";
   }
   if (!registry_dir.empty()) {
-    const RunRecord rec = make_run_record(app.name, cfg, run.trace, wall_seconds);
+    const RunRecord rec =
+        make_run_record(app.name, cfg, run.trace, wall_seconds, run.store.get());
     append_run_record(registry_dir, rec);
     std::cout << "run " << rec.run_id << " (config " << rec.config_hash
               << ") appended to " << registry_dir << "/registry.ndjson\n";

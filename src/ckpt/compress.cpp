@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace swt {
@@ -87,6 +88,12 @@ std::size_t encoded_size(CompressionKind kind, std::size_t count) noexcept {
 }
 
 double max_abs_error_bound(CompressionKind kind, double max_abs) noexcept {
+  // kNone is a bit-exact memcpy, so its bound is 0 even for NaN/Inf inputs.
+  // The lossy codecs saturate non-finite values deterministically (fp16
+  // keeps Inf/NaN natively; quant8 pins them to the range endpoints), so no
+  // finite bound exists once max_abs itself is non-finite.
+  if (!std::isfinite(max_abs) && kind != CompressionKind::kNone)
+    return std::numeric_limits<double>::infinity();
   switch (kind) {
     case CompressionKind::kNone: return 0.0;
     case CompressionKind::kFp16: return max_abs * 0x1.0p-11 + 1e-24;  // half ulp at value
@@ -108,10 +115,19 @@ std::vector<std::byte> encode_values(std::span<const float> values, CompressionK
       return out;
     }
     case CompressionKind::kQuant8: {
+      // The quantisation range is computed over *finite* values only: one
+      // stray NaN or Inf must not poison lo/hi (NaN propagates through
+      // min/max, and an Inf range makes scale Inf) and silently turn the
+      // whole tensor into garbage.  Non-finite values saturate
+      // deterministically instead: NaN and -Inf to bin 0, +Inf to bin 255.
       float lo = 0.0f, hi = 0.0f;
-      if (!values.empty()) {
-        lo = hi = values[0];
-        for (float v : values) {
+      bool any_finite = false;
+      for (float v : values) {
+        if (!std::isfinite(v)) continue;
+        if (!any_finite) {
+          lo = hi = v;
+          any_finite = true;
+        } else {
           lo = std::min(lo, v);
           hi = std::max(hi, v);
         }
@@ -121,8 +137,17 @@ std::vector<std::byte> encode_values(std::span<const float> values, CompressionK
       std::memcpy(out.data(), &scale, sizeof scale);
       std::memcpy(out.data() + sizeof scale, &lo, sizeof lo);
       auto* dst = reinterpret_cast<std::uint8_t*>(out.data() + 2 * sizeof(float));
+      // In the degenerate range (constant or no finite values, lo == hi and
+      // scale falls back to 1) only bin 0 decodes to hi, so saturating +Inf
+      // to bin 255 there would decode to lo + 255 instead of the endpoint.
+      const std::uint8_t hi_bin = range > 0.0f ? 255 : 0;
       for (std::size_t i = 0; i < values.size(); ++i) {
-        const float q = std::round((values[i] - lo) / scale);
+        const float v = values[i];
+        if (!std::isfinite(v)) {
+          dst[i] = v > 0.0f ? hi_bin : 0;  // +Inf high, NaN and -Inf low
+          continue;
+        }
+        const float q = std::round((v - lo) / scale);
         dst[i] = static_cast<std::uint8_t>(std::clamp(q, 0.0f, 255.0f));
       }
       return out;

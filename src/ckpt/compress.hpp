@@ -34,6 +34,10 @@ enum class CompressionKind : std::uint8_t { kNone = 0, kFp16 = 1, kQuant8 = 2 };
 
 /// Encode a tensor's values under `kind`; the layout is self-contained
 /// (quantisation parameters included) and decodable with decode_values.
+/// Non-finite inputs are handled deterministically: kNone round-trips them
+/// bit-exactly, kFp16 keeps Inf/NaN natively, and kQuant8 computes its
+/// range over finite values only and saturates +Inf to the top bin and
+/// NaN/-Inf to the bottom bin.
 [[nodiscard]] std::vector<std::byte> encode_values(std::span<const float> values,
                                                    CompressionKind kind);
 
@@ -43,6 +47,8 @@ enum class CompressionKind : std::uint8_t { kNone = 0, kFp16 = 1, kQuant8 = 2 };
                                                std::size_t count, CompressionKind kind);
 
 /// Worst-case absolute reconstruction error for values in [-max_abs, max_abs].
+/// Non-finite `max_abs` yields +infinity for the lossy kinds (no finite
+/// bound exists) and 0 for kNone (bit-exact regardless).
 [[nodiscard]] double max_abs_error_bound(CompressionKind kind, double max_abs) noexcept;
 
 /// Encoded payload size for `count` values.

@@ -40,8 +40,19 @@ void record_io(const char* op, const std::string& key, const IoStats& stats) {
 }  // namespace
 
 CheckpointStore::CheckpointStore(Backend backend, std::filesystem::path dir,
-                                 PfsCostModel model, CompressionKind compression)
+                                 PfsCostModel model, CompressionKind compression,
+                                 BankConfig bank)
     : backend_(backend), dir_(std::move(dir)), model_(model), compression_(compression) {
+  if (bank.enabled) {
+    // The bank owns the directory layout (chunks/ + manifests/ under dir_)
+    // and all synchronisation for the banked path; the flat members below
+    // stay unused except for the cumulative traffic meters.
+    bank_ = std::make_unique<WeightBank>(
+        backend_ == Backend::kMemory ? WeightBank::Backend::kMemory
+                                     : WeightBank::Backend::kDisk,
+        dir_, compression_, bank.byte_budget);
+    return;
+  }
   if (backend_ == Backend::kDisk) {
     if (dir_.empty()) throw std::invalid_argument("CheckpointStore: disk backend needs a dir");
     std::filesystem::create_directories(dir_);
@@ -68,6 +79,21 @@ std::filesystem::path CheckpointStore::path_for(const std::string& key) const {
 }
 
 IoStats CheckpointStore::put(const std::string& key, const Checkpoint& ckpt) {
+  if (bank_) {
+    // Only first-seen chunk bytes plus the manifest travel to the PFS; a
+    // put whose tensors all dedupe against resident chunks is priced at
+    // manifest cost.  bytes_moved() is a pure function of bank *content*,
+    // which concurrent same-wavefront evals never share (distinct RNG
+    // streams + training), so the charge is order-independent and the
+    // trace stays bit-reproducible across thread counts.
+    const BankPutStats put_stats = bank_->put(key, ckpt);
+    IoStats stats{put_stats.bytes_moved(), model_.write_cost(put_stats.bytes_moved())};
+    record_io("write", key, stats);
+    std::scoped_lock lock(mutex_);
+    sizes_.push_back(stats.bytes);
+    total_written_ += stats.bytes;
+    return stats;
+  }
   std::vector<std::byte> bytes = serialize(ckpt, compression_);
   IoStats stats{bytes.size(), model_.write_cost(bytes.size())};
   record_io("write", key, stats);
@@ -90,6 +116,7 @@ IoStats CheckpointStore::put(const std::string& key, const Checkpoint& ckpt) {
 }
 
 bool CheckpointStore::remove(const std::string& key) {
+  if (bank_) return bank_->remove(key);
   std::scoped_lock lock(mutex_);
   if (backend_ == Backend::kMemory) return memory_.erase(key) > 0;
   const bool known = disk_sizes_.erase(key) > 0;
@@ -122,6 +149,20 @@ std::optional<std::vector<std::byte>> CheckpointStore::read_bytes(
 }
 
 std::pair<Checkpoint, IoStats> CheckpointStore::get(const std::string& key) const {
+  if (bank_) {
+    std::size_t manifest_bytes = 0;
+    std::optional<Checkpoint> ckpt = bank_->try_get(key, &manifest_bytes);
+    if (!ckpt.has_value()) {
+      if (!bank_->contains(key))
+        throw std::out_of_range("CheckpointStore: unknown key " + key);
+      throw std::runtime_error("CheckpointStore: unreadable banked checkpoint " + key);
+    }
+    // A provider lookup is a cache hit: the chunks it needs were resident
+    // since the provider's own put, so only the manifest crosses the PFS.
+    IoStats stats{manifest_bytes, model_.read_cost(manifest_bytes)};
+    record_io("read", key, stats);
+    return {*std::move(ckpt), stats};
+  }
   std::optional<std::vector<std::byte>> bytes = read_bytes(key);
   if (!bytes.has_value())
     throw std::out_of_range("CheckpointStore: unknown key " + key);
@@ -132,6 +173,17 @@ std::pair<Checkpoint, IoStats> CheckpointStore::get(const std::string& key) cons
 
 std::optional<std::pair<Checkpoint, IoStats>> CheckpointStore::try_get(
     const std::string& key) const {
+  if (bank_) {
+    std::size_t manifest_bytes = 0;
+    std::optional<Checkpoint> ckpt = bank_->try_get(key, &manifest_bytes);
+    if (!ckpt.has_value()) {
+      if (metrics_enabled()) metrics().counter("ckpt.read_miss_total").add();
+      return std::nullopt;  // unknown key, or evicted / corrupt chunk
+    }
+    IoStats stats{manifest_bytes, model_.read_cost(manifest_bytes)};
+    record_io("read", key, stats);
+    return std::make_pair(*std::move(ckpt), stats);
+  }
   std::optional<std::vector<std::byte>> bytes;
   try {
     bytes = read_bytes(key);
@@ -155,13 +207,30 @@ std::optional<std::pair<Checkpoint, IoStats>> CheckpointStore::try_get(
 }
 
 bool CheckpointStore::contains(const std::string& key) const {
+  if (bank_) return bank_->contains(key);
   std::scoped_lock lock(mutex_);
   return backend_ == Backend::kMemory ? memory_.contains(key) : disk_sizes_.contains(key);
 }
 
 std::size_t CheckpointStore::count() const {
+  if (bank_) return bank_->count();
   std::scoped_lock lock(mutex_);
   return backend_ == Backend::kMemory ? memory_.size() : disk_sizes_.size();
+}
+
+std::size_t CheckpointStore::live_bytes() const {
+  if (bank_) {
+    const BankStats s = bank_->stats();
+    return s.resident_chunk_bytes + s.manifest_bytes;
+  }
+  std::scoped_lock lock(mutex_);
+  std::size_t total = 0;
+  if (backend_ == Backend::kMemory) {
+    for (const auto& [key, bytes] : memory_) total += bytes.size();
+  } else {
+    for (const auto& [key, size] : disk_sizes_) total += size;
+  }
+  return total;
 }
 
 std::vector<std::size_t> CheckpointStore::stored_sizes() const {

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/weight_bank.hpp"
 
 namespace swt {
 
@@ -42,15 +44,28 @@ struct IoStats {
   double cost_seconds = 0.0;  ///< modelled PFS time, not wall time
 };
 
+/// Opt-in content-addressed storage behind the store (see weight_bank.hpp).
+/// Banked puts only move first-seen chunk bytes plus a small manifest, and
+/// banked reads are priced at manifest size — provider lookups become cache
+/// hits instead of full-blob PFS reads.
+struct BankConfig {
+  bool enabled = false;
+  std::size_t byte_budget = 0;  ///< resident chunk byte cap, 0 = unlimited
+};
+
 class CheckpointStore {
  public:
   enum class Backend { kMemory, kDisk };
 
   /// Disk backend persists under `dir` (created if missing); memory backend
   /// ignores `dir`.  `compression` applies to every put() (see compress.hpp).
+  /// `bank.enabled` swaps the flat blob layout for the content-addressed
+  /// weight bank (dedup + manifest-priced reads); the flat layout and its
+  /// on-disk format are byte-for-byte unchanged when the bank is off.
   explicit CheckpointStore(Backend backend = Backend::kMemory,
                            std::filesystem::path dir = {}, PfsCostModel model = {},
-                           CompressionKind compression = CompressionKind::kNone);
+                           CompressionKind compression = CompressionKind::kNone,
+                           BankConfig bank = {});
 
   /// Serialize and store under `key` (overwrites); returns modelled cost.
   /// Disk puts are crash-consistent: staged to a tmp sibling, fsynced and
@@ -75,12 +90,22 @@ class CheckpointStore {
   [[nodiscard]] bool contains(const std::string& key) const;
   [[nodiscard]] std::size_t count() const;
 
-  /// Serialized sizes of every checkpoint ever put(), in order (Fig. 11).
+  /// Serialized bytes *moved to the PFS* by every put(), in order (Fig. 11).
+  /// These are cumulative traffic meters: an overwrite of an existing key
+  /// appends again, and remove() does not retract — use live_bytes() for
+  /// what the store currently holds.
   [[nodiscard]] std::vector<std::size_t> stored_sizes() const;
   [[nodiscard]] std::size_t total_bytes_written() const;
 
+  /// Bytes the store holds *right now*: payloads of live keys (flat), or
+  /// resident chunk + manifest bytes (banked).  Unlike the cumulative
+  /// meters above, overwrites replace and removes retract.
+  [[nodiscard]] std::size_t live_bytes() const;
+
   [[nodiscard]] const PfsCostModel& cost_model() const noexcept { return model_; }
   [[nodiscard]] CompressionKind compression() const noexcept { return compression_; }
+  /// The content-addressed bank behind this store, or nullptr when flat.
+  [[nodiscard]] const WeightBank* bank() const noexcept { return bank_.get(); }
 
  private:
   [[nodiscard]] std::filesystem::path path_for(const std::string& key) const;
@@ -93,6 +118,9 @@ class CheckpointStore {
   std::filesystem::path dir_;
   PfsCostModel model_;
   CompressionKind compression_;
+  /// Non-null iff BankConfig::enabled; the bank is internally synchronised,
+  /// so const store methods can route reads through it.
+  std::unique_ptr<WeightBank> bank_;
   mutable std::mutex mutex_;
   std::map<std::string, std::vector<std::byte>> memory_;
   std::map<std::string, std::size_t> disk_sizes_;

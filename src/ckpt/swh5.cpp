@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "ckpt/weight_bank.hpp"
 #include "ckpt/wire.hpp"
 #include "common/fsio.hpp"
 
@@ -234,7 +235,7 @@ std::vector<int> split_ints(const std::string& text) {
 
 }  // namespace
 
-Group from_checkpoint(const Checkpoint& ckpt) {
+Group from_checkpoint(const Checkpoint& ckpt, bool with_content_hashes) {
   Group root;
   root.set_attr("arch", join_ints(ckpt.arch));
   root.set_attr("score", ckpt.score);
@@ -252,6 +253,9 @@ Group from_checkpoint(const Checkpoint& ckpt) {
     const std::string leaf = slash == std::string::npos ? t.name : t.name.substr(slash + 1);
     Group& parent = layer.empty() ? model : model.create_group(layer);
     parent.create_dataset(leaf, t.value);
+    // The weight bank's content address, exported so external tooling can
+    // dedupe / cross-reference exported SWH5 files against bank chunks.
+    if (with_content_hashes) parent.set_attr(leaf + ":content_hash", chunk_id(t.value).hex());
   }
   root.set_attr("tensor_order", order.str());
   return root;

@@ -88,8 +88,11 @@ void save(const std::filesystem::path& path, const Group& root);
 
 /// Checkpoint <-> SWH5: one group per layer (parameter-name prefix), one
 /// dataset per tensor, `arch` / `score` as root attributes — the Keras-like
-/// layout the paper's evaluators write.
-[[nodiscard]] Group from_checkpoint(const Checkpoint& ckpt);
+/// layout the paper's evaluators write.  `with_content_hashes` adds a
+/// "<leaf>:content_hash" attribute per tensor carrying the weight bank's
+/// 128-bit content address in hex (chunk_id in weight_bank.hpp).
+[[nodiscard]] Group from_checkpoint(const Checkpoint& ckpt,
+                                    bool with_content_hashes = false);
 [[nodiscard]] Checkpoint to_checkpoint(const Group& root);
 
 }  // namespace swt::swh5

@@ -26,6 +26,12 @@ class Writer {
     const auto* b = static_cast<const std::byte*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
+  /// Length-prefixed byte blob (u64 size + raw bytes), the dual of
+  /// Reader::blob.  Used by the weight bank's chunk frames.
+  void blob(const std::vector<std::byte>& b) {
+    u64(b.size());
+    raw(b.data(), b.size());
+  }
   [[nodiscard]] std::vector<std::byte>& bytes() noexcept { return buf_; }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
@@ -54,6 +60,13 @@ class Reader {
     need(n);
     std::memcpy(p, data_ + pos_, n);
     pos_ += n;
+  }
+  std::vector<std::byte> blob() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::vector<std::byte> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
   }
   [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
   [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }

@@ -36,6 +36,20 @@ void emit_retry_events(const char* op, const std::string& key, long eval_id,
              {{"op", event_str(op)}, {"key", event_str(key)}});
 }
 
+/// A miss on a key the store still *contains* means present-but-unreadable
+/// content: a torn flat blob, or a banked manifest whose chunk was evicted
+/// or failed its CRC.  Classify it apart from plain never-written misses —
+/// this is the bank's refetch/fallback path: the evaluator falls back to
+/// random init and a later put of the same content re-materialises the
+/// chunk.
+void classify_unreadable_miss(const CheckpointStore& inner, const std::string& key,
+                              long eval_id) {
+  if (!inner.contains(key)) return;
+  if (metrics_enabled()) metrics().counter("ckpt.corrupt_fallback_total").add();
+  log_warn("ckpt read: key ", key, " present but unreadable (eval ", eval_id,
+           "); falling back to fresh initialisation");
+}
+
 }  // namespace
 
 FaultModel::FaultModel(FaultConfig cfg) : cfg_(cfg) {
@@ -133,12 +147,19 @@ IoStats FaultInjectingStore::put(const std::string& key, const Checkpoint& ckpt)
 std::optional<std::pair<Checkpoint, IoStats>> FaultInjectingStore::try_get(
     const std::string& key) {
   op_ = {};
-  if (!active()) return inner_->try_get(key);
+  if (!active()) {
+    auto real = inner_->try_get(key);
+    if (!real.has_value()) classify_unreadable_miss(*inner_, key, eval_id_);
+    return real;
+  }
   // The underlying lookup happens once; injection decides how many modelled
   // tries it took to obtain (or give up on) that result.  A missing or
   // corrupt checkpoint fails immediately — retrying cannot heal it.
   auto real = inner_->try_get(key);
-  if (!real.has_value()) return std::nullopt;
+  if (!real.has_value()) {
+    classify_unreadable_miss(*inner_, key, eval_id_);
+    return std::nullopt;
+  }
   const double est_cost = real->second.cost_seconds;
   const int tries = model_->config().max_io_retries + 1;
   for (int t = 0; t < tries; ++t) {

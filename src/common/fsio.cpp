@@ -37,6 +37,25 @@ void fsync_fd(int fd, const std::filesystem::path& path) {
 
 }  // namespace
 
+std::vector<std::byte> read_file(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open(read)", path);
+  std::vector<std::byte> bytes;
+  std::byte buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("read", path);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
 std::filesystem::path tmp_sibling(const std::filesystem::path& path) {
   std::filesystem::path tmp = path;
   tmp += ".tmp";

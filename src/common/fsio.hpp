@@ -19,8 +19,14 @@
 #include <cstddef>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 namespace swt::fsio {
+
+/// Read a whole file into memory.  Throws std::runtime_error when the file
+/// cannot be opened or shrinks mid-read (readers of atomically-renamed
+/// files never see growth, only replacement).
+[[nodiscard]] std::vector<std::byte> read_file(const std::filesystem::path& path);
 
 /// Atomically replace `path` with `data`: tmp sibling -> fsync -> rename,
 /// then fsync the parent directory.  Throws std::runtime_error on any

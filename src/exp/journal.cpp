@@ -267,6 +267,11 @@ std::string manifest_to_json(const RunManifest& m) {
   num("max_io_retries", std::to_string(f.max_io_retries));
   num("retry_backoff_s", json_number(f.retry_backoff_s));
   num("retry_backoff_multiplier", json_number(f.retry_backoff_multiplier));
+  num("bank", c.bank ? "true" : "false");
+  // Byte sizes share the uint64-as-string convention of the seeds above.
+  str("bank_budget_bytes", std::to_string(c.bank_budget_bytes));
+  str("warm_start_dir", c.warm_start_dir.string());
+  num("warm_start_k", std::to_string(c.warm_start_k));
   str("journal", RunJournal::kFileName);
   str("config_hash", m.config_hash);
   out += "}\n";
@@ -313,6 +318,13 @@ RunManifest parse_manifest(std::string_view json) {
   f.max_io_retries = static_cast<int>(v.number_or("max_io_retries", 3));
   f.retry_backoff_s = v.number_or("retry_backoff_s", 0.050);
   f.retry_backoff_multiplier = v.number_or("retry_backoff_multiplier", 2.0);
+  // Pre-bank manifests simply lack these keys; the defaults reproduce the
+  // old behaviour, so legacy run directories resume unchanged.
+  c.bank = v.contains("bank") && v.at("bank").boolean;
+  c.bank_budget_bytes = static_cast<std::size_t>(
+      parse_u64_string(v.string_or("bank_budget_bytes", "0"), "bank_budget_bytes"));
+  c.warm_start_dir = v.string_or("warm_start_dir", "");
+  c.warm_start_k = static_cast<int>(v.number_or("warm_start_k", 0));
   m.config_hash = v.string_or("config_hash", "");
   if (m.config_hash.empty()) throw std::runtime_error("manifest: missing config_hash");
   return m;

@@ -12,6 +12,7 @@
 
 #include "common/fsio.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "obs/json.hpp"
@@ -81,11 +82,23 @@ std::string config_hash(std::string_view app_name, const NasRunConfig& cfg) {
   h = hash_double(h, f.ckpt_write_fault_rate);
   h = hash_double(h, f.ckpt_read_fault_rate);
   h = mix64(h, static_cast<std::uint64_t>(f.max_attempts));
+  // Bank and warm-start knobs fold in only when enabled: every pre-bank
+  // configuration keeps its historical hash, so committed CI baselines and
+  // resumable run directories stay valid.
+  if (cfg.bank) {
+    h = hash_str(h, "bank");
+    h = mix64(h, static_cast<std::uint64_t>(cfg.bank_budget_bytes));
+  }
+  if (!cfg.warm_start_dir.empty()) {
+    h = hash_str(h, "warm:" + cfg.warm_start_dir.string());
+    h = mix64(h, static_cast<std::uint64_t>(cfg.warm_start_k));
+  }
   return hex64(h);
 }
 
 RunRecord make_run_record(std::string_view app_name, const NasRunConfig& cfg,
-                          const Trace& trace, double wall_seconds) {
+                          const Trace& trace, double wall_seconds,
+                          const CheckpointStore* store) {
   RunRecord rec;
   rec.app = app_name;
   rec.mode = to_string(cfg.mode);
@@ -150,6 +163,19 @@ RunRecord make_run_record(std::string_view app_name, const NasRunConfig& cfg,
     if (trace.records.size() >= 2)
       rec.kendall_tau_early_final = kendall_tau(early, final_);
   }
+
+  if (store != nullptr && store->bank() != nullptr) {
+    const BankStats bank = store->bank()->stats();
+    rec.bank_enabled = true;
+    rec.bank_dedup_ratio = bank.dedup_ratio();
+    rec.bank_chunks = static_cast<long>(bank.chunk_count);
+    rec.bank_unique_bytes = bank.unique_bytes_written;
+    rec.bank_logical_bytes = bank.logical_bytes_written;
+    rec.bank_evictions = static_cast<long>(bank.evicted_chunks);
+    rec.bank_roots = store->bank()->keys();
+    // The roots exist for warm-start discovery, not as a full key dump.
+    if (rec.bank_roots.size() > 64) rec.bank_roots.resize(64);
+  }
   return rec;
 }
 
@@ -192,6 +218,25 @@ std::string run_record_to_json(const RunRecord& rec) {
   num("transfer_hit_rate", json_number(rec.transfer_hit_rate));
   num("kendall_tau_early_final", json_number(rec.kendall_tau_early_final));
   num("mean_lineage_depth", json_number(rec.mean_lineage_depth));
+  if (rec.bank_enabled) {
+    // Bank fields only appear for banked runs, keeping flat-run records
+    // byte-identical to the pre-bank format.
+    num("bank", "true");
+    num("bank_dedup_ratio", json_number(rec.bank_dedup_ratio));
+    num("bank_chunks", std::to_string(rec.bank_chunks));
+    // Byte meters as strings: a JSON double cannot represent every uint64.
+    str("bank_unique_bytes", std::to_string(rec.bank_unique_bytes));
+    str("bank_logical_bytes", std::to_string(rec.bank_logical_bytes));
+    num("bank_evictions", std::to_string(rec.bank_evictions));
+    out += ",\"bank_roots\":[";
+    for (std::size_t i = 0; i < rec.bank_roots.size(); ++i) {
+      if (i) out += ',';
+      out += '"';
+      out += json_escape(rec.bank_roots[i]);
+      out += '"';
+    }
+    out += ']';
+  }
   out += '}';
   return out;
 }
@@ -223,6 +268,14 @@ RunRecord parse_run_record(std::string_view json) {
   rec.transfer_hit_rate = v.number_or("transfer_hit_rate", 0.0);
   rec.kendall_tau_early_final = v.number_or("kendall_tau_early_final", 0.0);
   rec.mean_lineage_depth = v.number_or("mean_lineage_depth", 0.0);
+  rec.bank_enabled = v.contains("bank") && v.at("bank").boolean;
+  rec.bank_dedup_ratio = v.number_or("bank_dedup_ratio", 1.0);
+  rec.bank_chunks = static_cast<long>(v.number_or("bank_chunks", 0));
+  rec.bank_unique_bytes = parse_u64(v.string_or("bank_unique_bytes", "0")).value_or(0);
+  rec.bank_logical_bytes = parse_u64(v.string_or("bank_logical_bytes", "0")).value_or(0);
+  rec.bank_evictions = static_cast<long>(v.number_or("bank_evictions", 0));
+  if (v.contains("bank_roots"))
+    for (const JsonValue& s : v.at("bank_roots").array) rec.bank_roots.push_back(s.string);
   return rec;
 }
 

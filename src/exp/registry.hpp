@@ -49,6 +49,17 @@ struct RunRecord {
   double transfer_hit_rate = 0.0;
   double kendall_tau_early_final = 0.0;
   double mean_lineage_depth = 0.0;
+
+  // Weight-bank snapshot (all defaulted for flat-store runs):
+  bool bank_enabled = false;
+  double bank_dedup_ratio = 1.0;      ///< logical / unique bytes written
+  long bank_chunks = 0;               ///< distinct chunk contents at run end
+  std::uint64_t bank_unique_bytes = 0;   ///< chunk bytes physically written
+  std::uint64_t bank_logical_bytes = 0;  ///< chunk bytes logically referenced
+  long bank_evictions = 0;
+  /// Surviving checkpoint keys (chunk roots, capped at 64) — what a later
+  /// run's --warm-start-from can fetch from this run's directory.
+  std::vector<std::string> bank_roots;
 };
 
 /// Hex digest over the run configuration fields that change behaviour
@@ -59,9 +70,12 @@ struct RunRecord {
 
 /// Summarize a finished run.  Top-K scores, transfer hit rate and the
 /// early-vs-final Kendall tau are recomputed from the trace so the record
-/// is self-contained even when metrics were disabled.
+/// is self-contained even when metrics were disabled.  A non-null `store`
+/// with an enabled weight bank additionally fills the bank snapshot
+/// (dedup ratio, byte meters, surviving chunk roots).
 [[nodiscard]] RunRecord make_run_record(std::string_view app_name, const NasRunConfig& cfg,
-                                        const Trace& trace, double wall_seconds);
+                                        const Trace& trace, double wall_seconds,
+                                        const CheckpointStore* store = nullptr);
 
 /// One-line JSON form of a record / its inverse (throws std::runtime_error
 /// on malformed input).

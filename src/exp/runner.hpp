@@ -24,6 +24,27 @@ struct NasRunConfig {
   int estimation_epochs = 0;
   RegularizedEvolution::Config evolution = {};
 
+  // Content-addressed weight bank (DESIGN.md "Weight bank").  Off by
+  // default: bank-disabled runs use the flat store and their trace CSVs are
+  // byte-identical to pre-bank builds.
+  /// Store checkpoints as deduplicated per-tensor chunks + manifests;
+  /// provider reads are then priced at manifest size (cache hits).
+  bool bank = false;
+  /// Resident chunk byte cap for the bank (0 = unlimited).  Evicted chunks
+  /// turn their checkpoints into read misses (random-init fallback).
+  std::size_t bank_budget_bytes = 0;
+  /// Cross-run warm start: a previous run's directory (its trace.csv +
+  /// ckpts/).  The top-K surviving checkpoints are re-put into this run's
+  /// store and reported to the evolution strategy as pre-scored outcomes,
+  /// so early generations mutate trained parents instead of random inits.
+  /// Requires a transfer mode; ignored (with a warning) under kNone.
+  std::filesystem::path warm_start_dir;
+  /// How many checkpoints to seed from warm_start_dir; 0 = auto = the
+  /// evolution population size, which fills the warm-up window completely
+  /// (fewer would leave the strategy proposing random architectures until
+  /// its own warm-up finishes).
+  int warm_start_k = 0;
+
   // Crash-consistent run directory (DESIGN.md "Durability contract").
   // None of these knobs changes search behaviour, so they are deliberately
   // outside the registry config hash: a journaled run and a plain run of
@@ -56,6 +77,9 @@ struct NasRun {
   std::size_t journal_replayed = 0;   ///< attempts restored without retraining
   std::size_t journal_appended = 0;   ///< attempts trained and journaled
   bool journal_truncated_tail = false;  ///< a torn final record was discarded
+
+  /// Checkpoints seeded from warm_start_dir (0 = no warm start).
+  std::size_t warm_start_seeded = 0;
 };
 
 /// One NAS run of `cfg.n_evals` candidates with regularized evolution.

@@ -199,6 +199,34 @@ TEST(Store, TotalBytesWrittenAccumulates) {
   EXPECT_EQ(store.total_bytes_written(), s1.bytes + s2.bytes);
 }
 
+TEST(Store, OverwriteDoesNotDoubleCountLiveBytes) {
+  // Regression: put() on an existing key used to grow the live footprint as
+  // if both payloads were still stored.  The cumulative traffic meters keep
+  // counting every put; live_bytes() must track only what is held now.
+  CheckpointStore store;
+  const Checkpoint ckpt = sample_checkpoint();
+  const auto s1 = store.put("k", ckpt);
+  const auto s2 = store.put("k", ckpt);
+  EXPECT_EQ(store.total_bytes_written(), s1.bytes + s2.bytes);  // cumulative
+  EXPECT_EQ(store.live_bytes(), s2.bytes);                      // one payload
+  EXPECT_TRUE(store.remove("k"));
+  EXPECT_EQ(store.live_bytes(), 0u);
+  EXPECT_EQ(store.total_bytes_written(), s1.bytes + s2.bytes);  // not retracted
+}
+
+TEST(Store, DiskLiveBytesTracksOverwriteAndRemove) {
+  const auto dir = std::filesystem::temp_directory_path() / "swtnas_store_live";
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(CheckpointStore::Backend::kDisk, dir);
+  const auto s1 = store.put("k", sample_checkpoint());
+  store.put("other", sample_checkpoint());
+  const auto s2 = store.put("k", sample_checkpoint());
+  EXPECT_EQ(store.live_bytes(), s1.bytes + s2.bytes);  // two live keys
+  store.remove("other");
+  EXPECT_EQ(store.live_bytes(), s2.bytes);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Store, NetworkRoundTripThroughStore) {
   std::vector<LayerPtr> layers;
   layers.push_back(std::make_unique<Dense>("d", 4, 2));

@@ -93,6 +93,49 @@ TEST(EncodeDecode, Quant8ConstantTensor) {
   for (float v : back) EXPECT_FLOAT_EQ(v, 1.25f);
 }
 
+TEST(EncodeDecode, Quant8NonFiniteSaturatesDeterministically) {
+  // NaN/Inf inputs (a diverged training run) must not poison the lo/hi range
+  // scan or feed NaN into std::clamp: the codec saturates them — +inf to the
+  // top bin, NaN and -inf to the bottom — and keeps finite neighbours exact
+  // to quantisation error.
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::nanf("");
+  const std::vector<float> values = {-2.0f, nan, 0.5f, inf, -inf, 3.0f};
+  const auto back = decode_values(encode_values(values, CompressionKind::kQuant8),
+                                  values.size(), CompressionKind::kQuant8);
+  for (float v : back) EXPECT_TRUE(std::isfinite(v)) << v;
+  // The finite range [-2, 3] survives the non-finite neighbours.
+  EXPECT_NEAR(back[0], -2.0f, 1e-5);
+  EXPECT_NEAR(back[2], 0.5f, 0.02);
+  EXPECT_NEAR(back[5], 3.0f, 1e-5);
+  // Saturation directions: +inf -> hi end, NaN / -inf -> lo end.
+  EXPECT_NEAR(back[3], 3.0f, 1e-5);
+  EXPECT_NEAR(back[1], -2.0f, 1e-5);
+  EXPECT_NEAR(back[4], -2.0f, 1e-5);
+  // Determinism: encoding twice yields identical bytes.
+  EXPECT_EQ(encode_values(values, CompressionKind::kQuant8),
+            encode_values(values, CompressionKind::kQuant8));
+}
+
+TEST(EncodeDecode, Quant8AllNonFiniteRoundTripsFinite) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> values = {std::nanf(""), inf, -inf, std::nanf("1")};
+  const auto back = decode_values(encode_values(values, CompressionKind::kQuant8),
+                                  values.size(), CompressionKind::kQuant8);
+  // No finite value anywhere: lo = hi = 0, everything decodes to 0.
+  for (float v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ErrorBound, NonFiniteMaxAbs) {
+  const double inf_in = std::numeric_limits<double>::infinity();
+  // Lossy codecs cannot bound the error of a non-finite input...
+  EXPECT_TRUE(std::isinf(max_abs_error_bound(CompressionKind::kQuant8, inf_in)));
+  EXPECT_TRUE(std::isinf(max_abs_error_bound(CompressionKind::kFp16,
+                                             std::nan(""))));
+  // ...but kNone is bit-exact regardless.
+  EXPECT_EQ(max_abs_error_bound(CompressionKind::kNone, inf_in), 0.0);
+}
+
 TEST(EncodeDecode, EmptyInput) {
   for (auto kind :
        {CompressionKind::kNone, CompressionKind::kFp16, CompressionKind::kQuant8}) {
